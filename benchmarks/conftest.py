@@ -1,0 +1,17 @@
+"""Shared benchmark plumbing: the results directory for rendered tables."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, table: str) -> None:
+    (results_dir / f"{name}.txt").write_text(table + "\n")

@@ -1,0 +1,62 @@
+"""Figure 5 benchmark: application-level benchmarks.
+
+Shape assertions (Section 5.6):
+- cat+tr: "M3 is about twice as fast".
+- tar/untar: "M3 requires only 20% and 16% ... of the time Linux takes"
+  (we accept the same direction within a tolerant band).
+- find: "Linux is slightly faster" than M3.
+- sqlite: "only slightly faster on M3" (compute-dominated).
+"""
+
+from repro.eval import fig5_apps
+from benchmarks.conftest import write_result
+
+
+def test_fig5_apps(benchmark, results_dir):
+    results = benchmark.pedantic(fig5_apps.run, rounds=1, iterations=1)
+
+    def ratio(name):
+        return results[name]["M3"]["total"] / results[name]["Lx"]["total"]
+
+    # cat+tr about twice as fast on M3.
+    assert 0.35 <= ratio("cat+tr") <= 0.65, ratio("cat+tr")
+    # tar and untar: M3 several times faster (paper: 20%/16%).
+    assert ratio("tar") <= 0.40, ratio("tar")
+    assert ratio("untar") <= 0.40, ratio("untar")
+    # find: Linux slightly faster.
+    assert 1.0 < ratio("find") <= 1.25, ratio("find")
+    # sqlite: M3 only slightly faster.
+    assert 0.85 <= ratio("sqlite") < 1.0, ratio("sqlite")
+
+    # Lx-$ sits between M3 and Lx wherever copies matter.
+    for name in ("cat+tr", "tar", "untar"):
+        systems = results[name]
+        assert systems["M3"]["total"] < systems["Lx-$"]["total"] <= \
+            systems["Lx"]["total"]
+
+    # The App stacks are identical across systems for the native pair
+    # and the trace replays (same computation on both systems).
+    for name, systems in results.items():
+        assert systems["M3"]["app"] == systems["Lx"]["app"]
+
+    rows = []
+    for name, systems in results.items():
+        lx_total = systems["Lx"]["total"]
+        for system_name in ("M3", "Lx-$", "Lx"):
+            entry = systems[system_name]
+            rows.append(
+                (name, system_name, entry["total"], entry["app"],
+                 entry["xfers"], entry["os"],
+                 f"{entry['total'] / lx_total:.2f}")
+            )
+    from repro.eval.report import render_table
+
+    write_result(
+        results_dir,
+        "fig5_apps",
+        render_table(
+            "Figure 5: application-level benchmarks (cycles)",
+            ["benchmark", "system", "total", "app", "xfers", "os", "vs Lx"],
+            rows,
+        ),
+    )

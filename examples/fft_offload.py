@@ -1,0 +1,45 @@
+"""Offloading to an accelerator: the paper's FFT filter chain.
+
+Run with:  python examples/fft_offload.py
+
+Builds two systems — one homogeneous, one with an FFT accelerator PE —
+and runs the identical parent program on both.  The only difference is
+the executable path handed to the child VPE (Section 5.8): the kernel
+places the accelerated binary on the accelerator core.
+"""
+
+from repro.m3.system import M3System
+from repro.workloads.fft import (
+    FFT_ACCEL_BINARY,
+    FFT_SW_BINARY,
+    m3_fft_chain,
+    m3_fft_setup,
+)
+
+
+def run(binary: str, accelerated: bool):
+    accelerators = {"fft-accel": 1} if accelerated else None
+    system = M3System(pe_count=5, accelerators=accelerators).boot()
+    m3_fft_setup(system)
+    wall, ledger = system.run_app(m3_fft_chain, binary, name="fft-chain")
+    return wall, ledger
+
+
+def main():
+    software_wall, software_ledger = run(FFT_SW_BINARY, accelerated=False)
+    accel_wall, accel_ledger = run(FFT_ACCEL_BINARY, accelerated=True)
+
+    print("FFT filter chain: generate -> pipe -> FFT -> file (32 KiB)")
+    print(f"  software FFT   : {software_wall:>10,} cycles "
+          f"(FFT part {software_ledger.get('fft', 0):,})")
+    print(f"  accelerator FFT: {accel_wall:>10,} cycles "
+          f"(FFT part {accel_ledger.get('fft', 0):,})")
+    print(f"  end-to-end speedup: {software_wall / accel_wall:.1f}x")
+    print(f"  FFT-only speedup  : "
+          f"{software_ledger['fft'] / accel_ledger['fft']:.1f}x")
+    print("note: the parent code was byte-for-byte identical in both runs;")
+    print("only the executable path differed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This environment is offline and lacks the ``wheel`` package, so the
+PEP 517 editable-install path is unavailable; this file lets
+``pip install -e .`` fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Reproduction of *M3: A Hardware/Operating-System Co-Design to Tame
+Heterogeneous Manycores* (Asmussen et al., ASPLOS 2016).
+
+Layers, bottom-up:
+
+- :mod:`repro.sim` — the discrete-event simulation kernel,
+- :mod:`repro.noc` — the mesh network-on-chip,
+- :mod:`repro.hw` — PEs (core + scratchpad + DTU), DRAM, devices, caches,
+- :mod:`repro.dtu` — the data transfer unit (the paper's hardware
+  contribution),
+- :mod:`repro.m3` — the OS: kernel, libm3, m3fs,
+- :mod:`repro.linuxsim` — the calibrated Linux baseline,
+- :mod:`repro.workloads` / :mod:`repro.eval` — the paper's Section 5.
+
+Entry point for most uses::
+
+    from repro.m3.system import M3System
+    system = M3System(pe_count=8).boot()
+
+See README.md for a tour and DESIGN.md for the reproduction strategy.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["params", "__version__"]

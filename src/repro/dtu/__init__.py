@@ -1,0 +1,28 @@
+"""The Data Transfer Unit (DTU): the paper's central hardware component.
+
+Each PE has exactly one DTU; it is "the only interface for the PE to
+PE-external resources" (Section 3.1).  A DTU contains a fixed set of
+endpoints, each configurable as a *send*, *receive*, or *memory*
+endpoint.  The configuration registers are writable only by kernel PEs
+— remotely, via privileged NoC packets — which is what "NoC-level
+isolation" means: a kernel on another PE governs what this PE can
+reach, and nothing else about the core needs to be trusted.
+"""
+
+from repro.dtu.registers import EndpointKind, EndpointRegisters, MemoryPerm
+from repro.dtu.message import Message, MessageHeader
+from repro.dtu.ringbuffer import RingBuffer
+from repro.dtu.dtu import DTU, DtuError, MissingCredits, NoPermission
+
+__all__ = [
+    "DTU",
+    "DtuError",
+    "MissingCredits",
+    "NoPermission",
+    "EndpointKind",
+    "EndpointRegisters",
+    "MemoryPerm",
+    "Message",
+    "MessageHeader",
+    "RingBuffer",
+]

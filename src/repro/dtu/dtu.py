@@ -1,0 +1,476 @@
+"""The DTU device model.
+
+Everything PE-external flows through here: message sends, replies,
+RDMA-style memory reads/writes, and the privileged remote-configuration
+packets through which a kernel exercises NoC-level isolation.
+
+Timing: injection costs :data:`params.DTU_INJECT_CYCLES`; wire time is
+the NoC model's job; SPM-side service costs :data:`SPM_ACCESS_CYCLES`.
+Transfer durations are charged to the ``xfer`` ledger tag — the
+"Xfers" stack of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from repro import params
+from repro.dtu.message import HEADER_BYTES, Message, MessageHeader
+from repro.dtu.registers import EndpointKind, EndpointRegisters, MemoryPerm
+from repro.dtu.ringbuffer import RingBuffer
+from repro.noc.packet import Packet
+from repro.sim.ledger import Tag
+from repro.sim.resources import Signal
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hw.spm import Scratchpad
+    from repro.noc.network import Network
+    from repro.sim import Simulator
+    from repro.sim.events import Event
+
+#: Cycles for the DTU to serve a request against the local SPM.
+SPM_ACCESS_CYCLES = 2
+
+#: Wire size of a memory read request / write ack descriptor.
+MEM_REQUEST_BYTES = 16
+
+
+class DtuError(Exception):
+    """Base class for DTU-reported failures."""
+
+
+class MissingCredits(DtuError):
+    """Send denied: the endpoint is out of credits (Section 4.4.3)."""
+
+
+class NoPermission(DtuError):
+    """Operation denied: wrong endpoint kind, bounds, or privilege."""
+
+
+class DTU:
+    """One Data Transfer Unit, attached to a NoC node.
+
+    ``local_memory`` is the PE's data SPM (or any byte-accurate memory)
+    that remote memory endpoints may target and into which received
+    ringbuffers conceptually live.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        network: "Network",
+        node: int,
+        local_memory: "Scratchpad",
+        ep_count: int = params.DTU_ENDPOINTS,
+    ):
+        if ep_count < 1:
+            raise ValueError("a DTU needs at least one endpoint")
+        self.sim = sim
+        self.network = network
+        self.node = node
+        self.local_memory = local_memory
+        self.eps: list[EndpointRegisters] = [
+            EndpointRegisters() for _ in range(ep_count)
+        ]
+        #: ringbuffer storage per receive endpoint.
+        self._ringbufs: dict[int, RingBuffer] = {}
+        #: fired when a message lands in the endpoint's ringbuffer.
+        self._signals: dict[int, Signal] = {}
+        #: outstanding memory/config transactions awaiting a response.
+        self._pending: dict[int, "Event"] = {}
+        self._transaction_ids = itertools.count()
+        #: "all DTUs are privileged at boot" (Section 3); the kernel
+        #: downgrades application PEs during boot.
+        self.privileged = True
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        network.attach(node, self.handle_packet)
+
+    # ------------------------------------------------------------------
+    # Local (software-visible) interface
+    # ------------------------------------------------------------------
+
+    def ep(self, index: int) -> EndpointRegisters:
+        """Endpoint registers (read-only from the application's view)."""
+        if not (0 <= index < len(self.eps)):
+            raise ValueError(f"endpoint {index} out of range")
+        return self.eps[index]
+
+    def signal(self, ep_index: int) -> Signal:
+        """The delivery signal of a receive endpoint (for wait loops)."""
+        ep = self.ep(ep_index)
+        if ep.kind != EndpointKind.RECEIVE:
+            raise NoPermission(f"EP{ep_index} is not a receive endpoint")
+        return self._signals[ep_index]
+
+    def ringbuffer(self, ep_index: int) -> RingBuffer:
+        """The ringbuffer of a receive endpoint."""
+        ep = self.ep(ep_index)
+        if ep.kind != EndpointKind.RECEIVE:
+            raise NoPermission(f"EP{ep_index} is not a receive endpoint")
+        return self._ringbufs[ep_index]
+
+    # -- message passing ------------------------------------------------
+
+    def send(
+        self,
+        ep_index: int,
+        payload: object,
+        length: int,
+        reply_ep: int | None = None,
+        reply_label: int = 0,
+    ) -> "Event":
+        """Send a message through a send endpoint.
+
+        Returns the delivery-complete event.  Sending is asynchronous:
+        the core is free immediately after programming the registers;
+        callers that need synchronous semantics yield the event.
+
+        Raises :class:`MissingCredits` when the endpoint has no credits
+        left — "message sending is denied by the DTU until the credits
+        have been refilled" (Section 4.4.3).
+        """
+        ep = self.ep(ep_index)
+        if ep.kind != EndpointKind.SEND:
+            raise NoPermission(f"EP{ep_index} is not a send endpoint")
+        if length < 0:
+            raise ValueError("negative message length")
+        if HEADER_BYTES + length > ep.msg_size:
+            raise NoPermission(
+                f"message of {length}B exceeds EP{ep_index} limit of "
+                f"{ep.msg_size - HEADER_BYTES}B payload"
+            )
+        if ep.credits < 1:
+            raise MissingCredits(f"EP{ep_index} has no credits left")
+        if reply_ep is not None:
+            reply_regs = self.ep(reply_ep)
+            if reply_regs.kind != EndpointKind.RECEIVE:
+                raise NoPermission(f"reply EP{reply_ep} is not a receive endpoint")
+        ep.credits -= 1
+        header = MessageHeader(
+            label=ep.label,
+            length=length,
+            reply_node=self.node if reply_ep is not None else -1,
+            reply_ep=reply_ep if reply_ep is not None else -1,
+            reply_label=reply_label,
+            credit_ep=ep_index,
+        )
+        message = Message(header, payload)
+        packet = Packet(
+            source=self.node,
+            destination=ep.target_node,
+            kind="message",
+            size_bytes=message.size_bytes(),
+            payload=(ep.target_ep, message),
+        )
+        self.messages_sent += 1
+        return self._inject(packet)
+
+    def reply(
+        self, ep_index: int, slot: int, payload: object, length: int
+    ) -> "Event":
+        """Reply to the message in ``slot`` of receive endpoint ``ep_index``.
+
+        The DTU extracts the destination from the stored message header
+        (Section 4.4.4); a reply needs no dedicated channel and carries a
+        credit refill for the original sender.  The slot is acknowledged
+        (freed) as part of the reply.
+        """
+        ep = self.ep(ep_index)
+        if ep.kind != EndpointKind.RECEIVE:
+            raise NoPermission(f"EP{ep_index} is not a receive endpoint")
+        if not ep.replies_enabled:
+            raise NoPermission(f"EP{ep_index} has replies disabled")
+        ringbuf = self._ringbufs[ep_index]
+        original = ringbuf.peek(slot)
+        if not original.can_reply:
+            raise NoPermission("original message does not permit a reply")
+        header = MessageHeader(label=original.header.reply_label, length=length)
+        message = Message(header, payload)
+        packet = Packet(
+            source=self.node,
+            destination=original.header.reply_node,
+            kind="reply",
+            size_bytes=message.size_bytes(),
+            payload=(original.header.reply_ep, message, original.header.credit_ep),
+        )
+        ringbuf.ack(slot)
+        return self._inject(packet)
+
+    def fetch_message(self, ep_index: int) -> tuple[int, Message] | None:
+        """Poll a receive endpoint: the next unread (slot, message) or None."""
+        return self.ringbuffer(ep_index).fetch()
+
+    def wait_message(self, ep_index: int):
+        """Generator: block until a message is available, then return it.
+
+        Models the paper's polling loop ("the software polls a DTU
+        register to wait for received messages", Section 4.3) without
+        busy-spinning the simulator.
+        """
+        while True:
+            fetched = self.fetch_message(ep_index)
+            if fetched is not None:
+                return fetched
+            yield self.signal(ep_index).wait()
+
+    def ack_message(self, ep_index: int, slot: int) -> None:
+        """Free a ringbuffer slot after processing (no reply sent)."""
+        self.ringbuffer(ep_index).ack(slot)
+
+    # -- remote memory access ----------------------------------------------
+
+    def read_memory(self, ep_index: int, offset: int, length: int,
+                    into_addr: int | None = None):
+        """Generator: RDMA-read ``length`` bytes at ``offset`` of a memory EP.
+
+        Returns the data; optionally also deposits it at ``into_addr`` in
+        local memory (the common case — "the data register denotes the
+        location the read data should be transferred to").
+        """
+        ep = self._memory_ep(ep_index, offset, length, MemoryPerm.READ)
+        response = yield from self._memory_transaction(
+            kind="mem_read",
+            target=ep.mem_node,
+            request_bytes=MEM_REQUEST_BYTES,
+            payload_builder=lambda tid: (tid, ep.mem_addr + offset, length),
+        )
+        data = response
+        if into_addr is not None:
+            self.local_memory.write(into_addr, data)
+        return data
+
+    def write_memory(self, ep_index: int, offset: int, data: bytes,
+                     from_addr: int | None = None):
+        """Generator: RDMA-write ``data`` to ``offset`` of a memory EP.
+
+        When ``from_addr`` is given the bytes are taken from local memory
+        instead (``data`` then only conveys the length).
+        """
+        if from_addr is not None:
+            data = self.local_memory.read(from_addr, len(data))
+        ep = self._memory_ep(ep_index, offset, len(data), MemoryPerm.WRITE)
+        yield from self._memory_transaction(
+            kind="mem_write",
+            target=ep.mem_node,
+            request_bytes=MEM_REQUEST_BYTES + len(data),
+            payload_builder=lambda tid: (tid, ep.mem_addr + offset, bytes(data)),
+        )
+        return len(data)
+
+    def _memory_ep(self, ep_index: int, offset: int, length: int,
+                   need: MemoryPerm) -> EndpointRegisters:
+        ep = self.ep(ep_index)
+        if ep.kind != EndpointKind.MEMORY:
+            raise NoPermission(f"EP{ep_index} is not a memory endpoint")
+        if not (ep.mem_perm & need):
+            raise NoPermission(f"EP{ep_index} lacks {need} permission")
+        if offset < 0 or length < 0 or offset + length > ep.mem_size:
+            raise NoPermission(
+                f"access [{offset}, {offset + length}) outside EP{ep_index} "
+                f"region of {ep.mem_size}B"
+            )
+        return ep
+
+    def _memory_transaction(self, kind: str, target: int, request_bytes: int,
+                            payload_builder):
+        """Issue a request packet and wait for the matching ``mem_resp``."""
+        transaction = next(self._transaction_ids)
+        done = self.sim.event(f"dtu{self.node}.{kind}#{transaction}")
+        self._pending[transaction] = done
+        packet = Packet(
+            source=self.node,
+            destination=target,
+            kind=kind,
+            size_bytes=request_bytes,
+            payload=payload_builder(transaction),
+        )
+        started = self.sim.now
+        self._inject(packet, charge=False)
+        response = yield done
+        # Whole round trip (inject + request + service + response) is
+        # transfer time from the core's point of view.
+        self.sim.ledger.charge(Tag.XFER, self.sim.now - started)
+        return response
+
+    # ------------------------------------------------------------------
+    # Remote (kernel-side) configuration — NoC-level isolation
+    # ------------------------------------------------------------------
+
+    def configure_remote(self, target_node: int, operation: str, *args):
+        """Generator: kernel-side remote endpoint configuration.
+
+        Sends a privileged configuration packet to ``target_node`` and
+        waits for the acknowledgement.  The *hardware* stamps the
+        packet with this DTU's privilege — software cannot forge it —
+        so only kernel PEs can reconfigure endpoints (Section 4.3).
+        Raises :class:`NoPermission` if this DTU is unprivileged.
+        """
+        transaction = next(self._transaction_ids)
+        done = self.sim.event(f"dtu{self.node}.config#{transaction}")
+        self._pending[transaction] = done
+        packet = Packet(
+            source=self.node,
+            destination=target_node,
+            kind="ep_config",
+            size_bytes=64,
+            payload=(transaction, self.privileged, operation, args),
+        )
+        self._inject(packet, charge=False)
+        started = self.sim.now
+        result = yield done
+        self.sim.ledger.charge(Tag.XFER, self.sim.now - started)
+        if result == "denied":
+            raise NoPermission(
+                f"DTU at node {self.node} is not privileged to configure "
+                f"node {target_node}"
+            )
+        return result
+
+    def configure_local(self, operation: str, *args) -> object:
+        """Directly write this DTU's configuration registers.
+
+        Models local memory-mapped register writes, which succeed only
+        while the DTU is still privileged — i.e. for kernel PEs, or for
+        any PE during boot before the kernel downgrades it.
+        """
+        if not self.privileged:
+            raise NoPermission(
+                f"DTU at node {self.node} is unprivileged; configuration "
+                "registers are only writable by kernel PEs"
+            )
+        return self._apply_config(operation, args)
+
+    def _apply_config(self, operation: str, args: tuple) -> object:
+        """Execute a validated configuration operation locally."""
+        if operation == "configure":
+            ep_index, registers = args
+            self.eps[ep_index] = registers
+            if registers.kind == EndpointKind.RECEIVE:
+                self._ringbufs[ep_index] = RingBuffer(
+                    registers.slot_size, registers.slot_count
+                )
+                # The per-endpoint delivery signal is stable hardware —
+                # waiters survive reconfiguration (e.g. after a context
+                # switch restores the endpoint).
+                self._signals.setdefault(
+                    ep_index, Signal(self.sim, f"dtu{self.node}.ep{ep_index}")
+                )
+            else:
+                self._ringbufs.pop(ep_index, None)
+            return "ok"
+        if operation == "invalidate":
+            (ep_index,) = args
+            self.eps[ep_index].invalidate()
+            self._ringbufs.pop(ep_index, None)
+            return "ok"
+        if operation == "refill_credits":
+            (ep_index,) = args
+            ep = self.eps[ep_index]
+            ep.credits = ep.max_credits
+            return "ok"
+        if operation == "downgrade":
+            self.privileged = False
+            return "ok"
+        if operation == "upgrade":
+            self.privileged = True
+            return "ok"
+        raise RuntimeError(f"unknown configuration operation {operation!r}")
+
+    # ------------------------------------------------------------------
+    # NoC delivery handling (the hardware side)
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Entry point for packets the NoC delivers to this node."""
+        if packet.kind == "message":
+            self._deliver_message(*packet.payload, credit_ep=None)
+        elif packet.kind == "reply":
+            ep_index, message, credit_ep = packet.payload
+            self._deliver_message(ep_index, message, credit_ep=credit_ep)
+        elif packet.kind == "mem_read":
+            transaction, address, length = packet.payload
+            data = self.local_memory.read(address, length)
+            self._respond_memory(packet.source, transaction, data, len(data))
+        elif packet.kind == "mem_write":
+            transaction, address, data = packet.payload
+            self.local_memory.write(address, bytes(data))
+            self._respond_memory(packet.source, transaction, b"", 0)
+        elif packet.kind == "mem_resp":
+            transaction, data = packet.payload
+            self._pending.pop(transaction).succeed(data)
+        elif packet.kind == "ep_config":
+            transaction, privileged, operation, args = packet.payload
+            if privileged:
+                result = self._apply_config(operation, args)
+            else:
+                result = "denied"
+            self.network.send(
+                Packet(
+                    source=self.node,
+                    destination=packet.source,
+                    kind="config_ack",
+                    size_bytes=16,
+                    payload=(transaction, result),
+                )
+            )
+        elif packet.kind == "config_ack":
+            transaction, result = packet.payload
+            self._pending.pop(transaction).succeed(result)
+        else:
+            raise RuntimeError(f"DTU at node {self.node} got {packet!r}")
+
+    def _deliver_message(self, ep_index: int, message: Message,
+                         credit_ep: int | None) -> None:
+        if credit_ep is not None and credit_ep >= 0:
+            # A reply refills the original send endpoint's credits.
+            sender_ep = self.eps[credit_ep]
+            if sender_ep.kind == EndpointKind.SEND:
+                sender_ep.credits = min(sender_ep.credits + 1, sender_ep.max_credits)
+        ep = self.eps[ep_index] if 0 <= ep_index < len(self.eps) else None
+        if ep is None or ep.kind != EndpointKind.RECEIVE:
+            self.messages_dropped += 1
+            return
+        slot = self._ringbufs[ep_index].push(message)
+        if slot is None:
+            self.messages_dropped += 1
+            return
+        self._signals[ep_index].fire()
+
+    def _respond_memory(self, requester: int, transaction: int, data: bytes,
+                        size: int) -> None:
+        self.sim.schedule(
+            SPM_ACCESS_CYCLES,
+            lambda _: self.network.send(
+                Packet(
+                    source=self.node,
+                    destination=requester,
+                    kind="mem_resp",
+                    size_bytes=size,
+                    payload=(transaction, data),
+                )
+            ),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _inject(self, packet: Packet, charge: bool = True) -> "Event":
+        """Queue a packet after the injection delay; return delivery event."""
+        done = self.sim.event(f"dtu{self.node}.delivery")
+        if charge:
+            self.sim.ledger.charge(Tag.XFER, params.DTU_INJECT_CYCLES)
+
+        def inject(_):
+            completion = self.network.send(packet)
+            wire = completion - self.sim.now
+            if charge:
+                self.sim.ledger.charge(Tag.XFER, wire)
+            self.sim.schedule(wire, lambda _: done.succeed())
+
+        self.sim.schedule(params.DTU_INJECT_CYCLES, inject)
+        return done
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "privileged" if self.privileged else "unprivileged"
+        return f"<DTU node={self.node} {state}>"

@@ -1,0 +1,51 @@
+"""Messages and their headers.
+
+"Messages consist of a header and a payload.  The header is
+automatically prepended to the payload by the DTU and contains a label,
+the length of the message, and information for a potential reply"
+(Section 4.4.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Wire size of the header the DTU prepends (label, length, reply info).
+HEADER_BYTES = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageHeader:
+    """DTU-generated metadata prepended to every message."""
+
+    #: receiver-chosen sender identification (unforgeable; Section 4.4.2).
+    label: int
+    #: payload length in bytes.
+    length: int
+    #: where a reply must go; ``reply_node < 0`` means replies disallowed.
+    reply_node: int = -1
+    reply_ep: int = -1
+    #: label to attach to the reply (identifies the replied-to request).
+    reply_label: int = 0
+    #: send endpoint at the sender whose credits a reply refills.
+    credit_ep: int = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """A delivered message sitting in a ringbuffer slot."""
+
+    header: MessageHeader
+    payload: object
+
+    @property
+    def label(self) -> int:
+        return self.header.label
+
+    @property
+    def can_reply(self) -> bool:
+        return self.header.reply_node >= 0
+
+    def size_bytes(self) -> int:
+        """Wire size: header plus declared payload length."""
+        return HEADER_BYTES + self.header.length

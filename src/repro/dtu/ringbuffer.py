@@ -1,0 +1,88 @@
+"""Receive-endpoint ringbuffers.
+
+"Ringbuffers at the receive endpoints allow receivers to simultaneously
+accept messages from multiple senders. ... Upon the reception of a
+message, the DTU writes the received message at the current write
+position and moves the write position forward.  The software in turn
+advances the buffer's current read position" (Section 4.4.3).
+Messages are dropped if no slot is free — senders are expected to be
+throttled by credits before that happens.
+"""
+
+from __future__ import annotations
+
+from repro.dtu.message import Message
+
+
+class RingBuffer:
+    """Fixed-slot ringbuffer holding delivered messages."""
+
+    def __init__(self, slot_size: int, slot_count: int):
+        if slot_size <= 0 or slot_count <= 0:
+            raise ValueError("ringbuffer geometry must be positive")
+        self.slot_size = slot_size
+        self.slot_count = slot_count
+        self._slots: list[Message | None] = [None] * slot_count
+        self._write_pos = 0
+        self._read_pos = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    @property
+    def occupied(self) -> int:
+        """Number of slots holding unacknowledged messages."""
+        return sum(1 for slot in self._slots if slot is not None)
+
+    @property
+    def full(self) -> bool:
+        return self._slots[self._write_pos] is not None
+
+    def push(self, message: Message) -> int | None:
+        """Store a delivered message; returns its slot or None if dropped."""
+        if message.size_bytes() > self.slot_size:
+            # The sender's DTU enforces the size limit; this guards against
+            # misconfiguration.  Slot size counts header plus payload.
+            raise ValueError(
+                f"message of {message.size_bytes()}B exceeds slot of "
+                f"{self.slot_size}B"
+            )
+        if self.full:
+            self.dropped += 1
+            return None
+        slot = self._write_pos
+        self._slots[slot] = message
+        self._write_pos = (slot + 1) % self.slot_count
+        self.delivered += 1
+        return slot
+
+    def fetch(self) -> tuple[int, Message] | None:
+        """The oldest unread message and its slot, advancing the read position.
+
+        The message stays occupied until :meth:`ack` — software processes
+        it in place and acknowledges when done.
+        """
+        if self._slots[self._read_pos] is None:
+            return None
+        slot = self._read_pos
+        message = self._slots[slot]
+        self._read_pos = (slot + 1) % self.slot_count
+        return slot, message
+
+    def peek(self, slot: int) -> Message:
+        """The message occupying ``slot`` (for reply processing)."""
+        message = self._slots[slot]
+        if message is None:
+            raise ValueError(f"slot {slot} is empty")
+        return message
+
+    def ack(self, slot: int) -> None:
+        """Mark ``slot`` processed, freeing it for new messages."""
+        if self._slots[slot] is None:
+            raise ValueError(f"slot {slot} already free")
+        self._slots[slot] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RingBuffer {self.occupied}/{self.slot_count} slots of "
+            f"{self.slot_size}B>"
+        )

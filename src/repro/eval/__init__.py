@@ -1,0 +1,12 @@
+"""The evaluation harness: one module per paper figure/table.
+
+Every ``fig*``/``tab*`` module exposes ``run()`` returning structured
+rows and ``main()`` printing the paper-style table.  The benchmark
+suite under ``benchmarks/`` drives these and asserts the paper's
+qualitative claims (who wins, by roughly what factor, where the
+crossovers fall).
+"""
+
+from repro.eval.report import render_table
+
+__all__ = ["render_table"]

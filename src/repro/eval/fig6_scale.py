@@ -1,0 +1,114 @@
+"""Figure 6: scalability with a single kernel and a single m3fs.
+
+"we ran the application-level benchmarks again, with varying number of
+benchmark instances in parallel ... we replaced the reading/writing
+from/to the DRAM with a spinning loop of the same time" (Section 5.7).
+Reported: average time per instance, normalised to the 1-instance run
+(flatter is better).  Expected shape: near-flat to 4 instances, mild
+degradation at 8, significant degradation for find and untar at 16,
+cat+tr nearly flat throughout.
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import render_table
+from repro.m3.system import M3System
+from repro.workloads.cat_tr import INPUT_PATH, input_bytes, m3_cat_tr
+from repro.workloads.trace import M3Replayer
+from repro.workloads.tracegen import TRACE_BENCHMARKS
+
+BENCHMARKS = ["cat+tr", "tar", "untar", "find", "sqlite"]
+INSTANCE_COUNTS = [1, 2, 4, 8, 16]
+
+
+def _spin_replay_app(trace, go):
+    def app(env):
+        env.spin_io = True
+        yield from env.vfs.stat("/")  # session setup before the barrier
+        yield go
+        start = env.sim.now
+        yield from M3Replayer(env).replay(trace)
+        return env.sim.now - start
+
+    return app
+
+
+def _cat_tr_app(prefix, go):
+    def app(env):
+        yield go
+        wall, _ledger = yield from m3_cat_tr(env, spin=True, prefix=prefix)
+        return wall
+
+    return app
+
+
+def average_instance_time(benchmark: str, instances: int) -> float:
+    """Average cycles per instance with ``instances`` running in parallel."""
+    from repro.m3.services.m3fs.superblock import SuperBlock
+
+    # 16 tar instances keep ~40 MiB of file data live; give the single
+    # m3fs instance a 128 MiB volume (the DRAM is sized to match).
+    system = M3System(pe_count=40, dram_bytes=192 * 1024 * 1024).boot(
+        fs_kwargs={"superblock": SuperBlock(total_blocks=128 * 1024)}
+    )
+    go = system.sim.event("go")
+    vpes = []
+    for index in range(instances):
+        prefix = f"/i{index}"
+        if benchmark == "cat+tr":
+            system.fs_preload({prefix + INPUT_PATH: input_bytes()})
+            app = _cat_tr_app(prefix, go)
+        else:
+            setup_files, trace = TRACE_BENCHMARKS[benchmark](prefix)
+            if setup_files:
+                system.fs_preload(setup_files)
+            elif not system.fs_server.fs.exists(prefix):
+                # benchmarks with no inputs still need their namespace
+                system.fs_server.fs.mkdir(prefix)
+            app = _spin_replay_app(trace, go)
+        vpes.append(system.spawn(app, name=f"{benchmark}-{index}"))
+    system.sim.run()  # everyone reaches the barrier (or queues behind it)
+    go.succeed()
+    walls = [system.wait(vpe) for vpe in vpes]
+    return sum(walls) / len(walls)
+
+
+def run(benchmarks=None, instance_counts=None) -> dict:
+    """benchmark -> [(instances, avg cycles, normalised)], flat-is-good."""
+    results: dict = {}
+    for benchmark in benchmarks or BENCHMARKS:
+        series = []
+        baseline = None
+        for count in instance_counts or INSTANCE_COUNTS:
+            if benchmark == "cat+tr" and count == 1:
+                # The paper has no 1-PE data point for cat+tr (it needs
+                # two PEs per instance); normalise to 2 instances? No —
+                # the paper normalises to one *instance*, which still
+                # uses two PEs.  Keep it.
+                pass
+            average = average_instance_time(benchmark, count)
+            if baseline is None:
+                baseline = average
+            series.append((count, average, average / baseline))
+        results[benchmark] = series
+    return results
+
+
+def main() -> str:
+    results = run()
+    rows = []
+    for benchmark, series in results.items():
+        for count, average, normalised in series:
+            rows.append((benchmark, count, int(average), f"{normalised:.2f}"))
+    table = render_table(
+        "Figure 6: scalability — avg time per instance, normalised to 1 "
+        "instance (flatter is better)",
+        ["benchmark", "instances", "avg cycles", "normalised"],
+        rows,
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,129 @@
+"""System introspection: what happened inside a simulated run.
+
+``collect(system)`` gathers counters from every layer; ``report``
+renders them as tables.  Useful after benchmarks ("was the NoC the
+bottleneck?") and in examples.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.eval.report import render_table
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.m3.system import M3System
+
+
+def collect(system: "M3System") -> dict:
+    """All layer counters as one nested dict."""
+    network = system.platform.network
+    utilisation = network.utilization_report()
+    busiest = sorted(utilisation.items(), key=lambda kv: -kv[1])[:5]
+    dtus = []
+    for pe in system.platform.pes:
+        dtu = pe.dtu
+        if dtu.messages_sent or dtu.messages_dropped:
+            dtus.append(
+                {
+                    "node": pe.node,
+                    "sent": dtu.messages_sent,
+                    "dropped": dtu.messages_dropped,
+                    "privileged": dtu.privileged,
+                }
+            )
+    filesystems = {
+        name: {
+            "requests": server.requests_served,
+            "blocks_used": server.fs.block_bitmap.used,
+            "inodes": len(server.fs.inodes),
+        }
+        for name, server in system.fs_servers.items()
+    }
+    return {
+        "cycles": system.sim.now,
+        "noc": {
+            "packets": network.packets_sent,
+            "payload_bytes": network.bytes_sent,
+            "busiest_links": busiest,
+        },
+        "dtus": dtus,
+        "kernel": {
+            "syscalls": system.kernel.syscall_count,
+            "vpes_created": len(system.kernel.vpes),
+            "services": sorted(system.kernel.services),
+            "context_switches": system.kernel.ctxsw.switch_count,
+            "dram_free_bytes": system.kernel.memory.free_bytes,
+        },
+        "filesystems": filesystems,
+        "ledger": system.sim.ledger.snapshot(),
+        "serial_lines": len(system.serial_log),
+    }
+
+
+def report(system: "M3System") -> str:
+    """Human-readable multi-table dump of :func:`collect`."""
+    data = collect(system)
+    pieces = []
+    pieces.append(
+        render_table(
+            f"System state at cycle {data['cycles']:,}",
+            ["counter", "value"],
+            [
+                ("NoC packets", data["noc"]["packets"]),
+                ("NoC payload bytes", data["noc"]["payload_bytes"]),
+                ("kernel syscalls", data["kernel"]["syscalls"]),
+                ("VPEs created", data["kernel"]["vpes_created"]),
+                ("context switches", data["kernel"]["context_switches"]),
+                ("DRAM free bytes", data["kernel"]["dram_free_bytes"]),
+                ("serial lines", data["serial_lines"]),
+            ],
+        )
+    )
+    if data["dtus"]:
+        pieces.append(
+            render_table(
+                "DTU traffic",
+                ["node", "sent", "dropped", "privileged"],
+                [
+                    (d["node"], d["sent"], d["dropped"],
+                     "yes" if d["privileged"] else "no")
+                    for d in data["dtus"]
+                ],
+            )
+        )
+    fs_rows = [
+        (name, entry["requests"], entry["blocks_used"], entry["inodes"])
+        for name, entry in _fs_items(system)
+    ]
+    if fs_rows:
+        pieces.append(
+            render_table(
+                "Filesystem services",
+                ["service", "requests", "blocks used", "inodes"],
+                fs_rows,
+            )
+        )
+    if data["noc"]["busiest_links"]:
+        pieces.append(
+            render_table(
+                "Busiest NoC links",
+                ["link", "utilisation"],
+                [
+                    (f"{a}->{b}", f"{u:.1%}")
+                    for (a, b), u in data["noc"]["busiest_links"]
+                ],
+            )
+        )
+    return "\n\n".join(pieces)
+
+
+def _fs_items(system: "M3System"):
+    return [
+        (name, {
+            "requests": server.requests_served,
+            "blocks_used": server.fs.block_bitmap.used,
+            "inodes": len(server.fs.inodes),
+        })
+        for name, server in system.fs_servers.items()
+    ]

@@ -1,0 +1,47 @@
+"""Scratchpad memory: the only directly addressable memory of a PE.
+
+The prototype platform's PEs have no caches and no MMU; each core sees
+a 64 KiB instruction SPM and a 64 KiB data SPM addressed physically
+(paper Sections 4.1-4.2).  The model is byte-accurate so that data
+flowing through pipes and files round-trips exactly.
+"""
+
+from __future__ import annotations
+
+
+class Scratchpad:
+    """A byte-accurate physically addressed memory bank."""
+
+    def __init__(self, size: int, name: str = "spm"):
+        if size < 1:
+            raise ValueError(f"memory size must be positive: {size}")
+        self.size = size
+        self.name = name
+        self._bytes = bytearray(size)
+
+    def _check(self, address: int, length: int) -> None:
+        if length < 0:
+            raise ValueError(f"negative access length: {length}")
+        if address < 0 or address + length > self.size:
+            raise ValueError(
+                f"{self.name}: access [{address}, {address + length}) outside "
+                f"[0, {self.size})"
+            )
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``address``."""
+        self._check(address, length)
+        return bytes(self._bytes[address : address + length])
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write ``data`` starting at ``address``."""
+        self._check(address, len(data))
+        self._bytes[address : address + len(data)] = data
+
+    def zero(self, address: int, length: int) -> None:
+        """Clear a region to zero bytes."""
+        self._check(address, length)
+        self._bytes[address : address + length] = bytes(length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Scratchpad {self.name!r} {self.size}B>"

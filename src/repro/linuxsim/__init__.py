@@ -1,0 +1,22 @@
+"""The Linux baseline model.
+
+The paper compares M3 against Linux 3.18 on a cycle-accurate Xtensa
+simulator (Section 5.1).  This package is the substitute: an analytic,
+event-driven model of a traditional monolithic OS on a *single*
+time-shared core, calibrated against the per-operation cycle costs the
+paper publishes (null syscall 410 cycles; read() = ~380 enter/leave +
+~400 fd/security + ~550 page cache per 4 KiB block; memcpy that cannot
+saturate memory bandwidth; block zeroing before first write; context
+switches for pipes and fork).
+
+Two cache variants reproduce the figures' "Lx" and "Lx-$" bars:
+``warm_cache=False`` charges realistic miss-limited copy bandwidth,
+``warm_cache=True`` models the hypothetical miss-free run.
+"""
+
+from repro.linuxsim.cpu import Cpu
+from repro.linuxsim.fs import TmpFs, LxFsError
+from repro.linuxsim.pipe import LxPipe
+from repro.linuxsim.machine import LinuxMachine, LxEnv
+
+__all__ = ["Cpu", "LinuxMachine", "LxEnv", "LxFsError", "LxPipe", "TmpFs"]

@@ -1,0 +1,14 @@
+"""M3: the microkernel-based OS for heterogeneous manycores.
+
+The OS consists of a kernel running on a dedicated PE
+(:mod:`repro.m3.kernel`), OS services implemented as applications
+(:mod:`repro.m3.services`), and the application library libm3
+(:mod:`repro.m3.lib`) — mirroring the paper's Section 4.5.
+
+:class:`repro.m3.system.M3System` boots the whole stack on a
+:class:`~repro.hw.platform.Platform`.
+"""
+
+from repro.m3.system import M3System
+
+__all__ = ["M3System"]

@@ -1,0 +1,37 @@
+"""The M3 kernel: capability management, VPEs, and syscall dispatch.
+
+"Despite the differences between the kernel in M3 and a traditional
+kernel, they share their main responsibility: making the final decision
+of whether an operation is allowed or not" (Section 3).  The kernel
+runs on its own PE and talks to applications exclusively through DTU
+messages.
+"""
+
+from repro.m3.kernel.capability import Capability, CapKind, CapTable
+from repro.m3.kernel.objects import (
+    MemObject,
+    RecvGateObject,
+    SendGateObject,
+    ServiceObject,
+    SessionObject,
+)
+from repro.m3.kernel.vpe import VpeObject, VpeState
+from repro.m3.kernel.memmgr import MemoryManager, OutOfMemory
+from repro.m3.kernel.kernel import Kernel, SyscallError
+
+__all__ = [
+    "Capability",
+    "CapKind",
+    "CapTable",
+    "Kernel",
+    "MemObject",
+    "MemoryManager",
+    "OutOfMemory",
+    "RecvGateObject",
+    "SendGateObject",
+    "ServiceObject",
+    "SessionObject",
+    "SyscallError",
+    "VpeObject",
+    "VpeState",
+]

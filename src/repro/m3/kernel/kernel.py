@@ -1,0 +1,639 @@
+"""The M3 kernel: boot, NoC-level isolation, and syscall dispatch.
+
+The kernel runs on a dedicated PE and never shares it with
+applications.  Its power comes solely from its privileged DTU: it
+downgrades all application DTUs at boot and afterwards remotely
+configures their endpoints (Section 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from repro import params
+from repro.dtu.message import HEADER_BYTES
+from repro.dtu.registers import EndpointRegisters, MemoryPerm
+from repro.m3.kernel import syscalls
+from repro.m3.kernel.capability import Capability, CapKind, revoke
+from repro.m3.kernel.memmgr import MemoryManager
+from repro.m3.kernel.objects import (
+    MemObject,
+    RecvGateObject,
+    SendGateObject,
+    ServiceObject,
+    SessionObject,
+)
+from repro.m3.kernel.vpe import VpeObject, VpeState
+from repro.sim.ledger import Tag
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hw.platform import Platform
+
+
+class SyscallError(Exception):
+    """A syscall was denied or failed; carried back in the reply."""
+
+
+class _NoReply:
+    """Sentinel: the handler acknowledged the slot itself or deferred."""
+
+
+NO_REPLY = _NoReply()
+
+#: kernel endpoint assignment.
+KERNEL_SYSCALL_EP = 0  # receive endpoint for all syscalls
+KERNEL_REPLY_EP = 1  # receive endpoint for replies to kernel-sent messages
+KERNEL_FIRST_SRV_EP = 2  # send endpoints to services
+
+#: application endpoint assignment (mirrored by libm3's Env).
+APP_SYSCALL_EP = 0  # send endpoint to the kernel
+APP_REPLY_EP = 1  # receive endpoint for syscall and service replies
+
+#: syscall channel geometry.
+SYSCALL_MSG_BYTES = 64
+SYSCALL_RING_SLOTS = 64
+#: reply ring slots are large enough for service replies too (services
+#: answer clients through the same standard reply endpoint).
+REPLY_SLOT_BYTES = 512
+REPLY_RING_SLOTS = 8
+#: the kernel's own reply ring must absorb a burst of session
+#: negotiations (up to one per parked open_session).
+KERNEL_REPLY_RING_SLOTS = 64
+
+
+class Kernel:
+    """Kernel state plus the dispatch loop running on the kernel PE."""
+
+    def __init__(self, platform: "Platform", node: int = 0,
+                 dram_reserve: int = 0):
+        self.platform = platform
+        self.sim = platform.sim
+        self.node = node
+        self.pe = platform.pe(node)
+        self.dtu = self.pe.dtu
+        #: VPE id -> kernel object.
+        self.vpes: dict[int, VpeObject] = {}
+        #: registered services by name.
+        self.services: dict[str, ServiceObject] = {}
+        #: DRAM allocator (`dram_reserve` bytes at the bottom stay free
+        #: for platform-level uses).
+        self.memory = MemoryManager(
+            dram_reserve, platform.dram.memory.size - dram_reserve
+        )
+        #: send-EP index on the kernel DTU per service name.
+        self._service_eps: dict[str, int] = {}
+        self._next_service_ep = KERNEL_FIRST_SRV_EP
+        self.syscall_count = 0
+        #: (vpe_id, ep_index) -> capability currently configured there,
+        #: so revocation can invalidate the hardware behind a grant.
+        self._ep_bindings: dict[tuple, Capability] = {}
+        #: parked open_session negotiations keyed by negotiation id.
+        self._pending_sessions: dict[int, tuple] = {}
+        self._negotiation_ids = itertools.count(1)
+        self._booted = False
+        #: callback used by the M3 system layer to start software on a
+        #: PE (models the kernel writing the boot registers via the DTU).
+        self.start_software = None
+        #: PE time-multiplexing (Sections 3.3/7); off by default, like
+        #: the paper's prototype.
+        self.multiplexing = False
+        #: move waiting VPEs to PEs that free up (Section 1.3's load
+        #: balancing); only meaningful with multiplexing on.
+        self.auto_rebalance = False
+        from repro.m3.kernel.ctxsw import ContextSwitcher
+
+        self.ctxsw = ContextSwitcher(self)
+        #: vpe id -> libm3 Env, populated by the system layer (used by
+        #: the context switcher to flush client-side endpoint bindings).
+        self.envs: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Boot
+    # ------------------------------------------------------------------
+
+    def boot(self):
+        """Generator: take control of the chip.
+
+        Configures the kernel's own endpoints, then downgrades every
+        other DTU — "during boot, the DTUs of the application PEs are
+        downgraded by the kernel to become unprivileged" (Section 3).
+        """
+        self.dtu.configure_local(
+            "configure",
+            KERNEL_SYSCALL_EP,
+            EndpointRegisters.receive_config(
+                buffer_addr=0,
+                slot_size=SYSCALL_MSG_BYTES + HEADER_BYTES,
+                slot_count=SYSCALL_RING_SLOTS,
+            ),
+        )
+        self.dtu.configure_local(
+            "configure",
+            KERNEL_REPLY_EP,
+            EndpointRegisters.receive_config(
+                buffer_addr=4096,
+                slot_size=REPLY_SLOT_BYTES,
+                slot_count=KERNEL_REPLY_RING_SLOTS,
+            ),
+        )
+        for pe in self.platform.pes:
+            if pe.node == self.node:
+                continue
+            yield from self.dtu.configure_remote(pe.node, "downgrade")
+        self._booted = True
+
+    # ------------------------------------------------------------------
+    # VPE management (also used directly for boot-time root VPEs)
+    # ------------------------------------------------------------------
+
+    def create_vpe(self, name: str, pe_type: str | None = None,
+                   creator: VpeObject | None = None):
+        """Generator: allocate a PE, create the VPE, wire its syscall
+        channel.  Returns the :class:`VpeObject`.
+
+        With :attr:`multiplexing` enabled and no free PE, the VPE is
+        queued on a time-shared PE instead (general-purpose cores only);
+        the creator's PE is the preferred victim.
+        """
+        pe = self.platform.find_free_pe(pe_type)
+        if pe is None or pe.node == self.node:
+            if self.multiplexing and pe_type in (None, "xtensa"):
+                preferred = creator.node if creator is not None else None
+                vpe = self._create_multiplexed(name, preferred)
+                if vpe is not None:
+                    return vpe
+            raise SyscallError(
+                f"no free PE of type {pe_type or 'any'} for VPE {name!r}"
+            )
+        vpe = VpeObject(name, pe)
+        self.vpes[vpe.id] = vpe
+        # Reserve the PE immediately so concurrent creates cannot race.
+        pe.reserve()
+        yield from self.wire_syscall_channel(vpe)
+        # Self capability and a memory capability for the PE's SPM, used
+        # by the parent for application loading (Section 4.5.5).
+        vpe.captable.insert(Capability(CapKind.VPE, vpe))
+        spm_cap = Capability(
+            CapKind.MEM,
+            MemObject(pe.node, 0, pe.spm_data.size, MemoryPerm.RW),
+        )
+        vpe.captable.insert(spm_cap)
+        self.ctxsw.adopt(vpe)
+        return vpe
+
+    def _create_multiplexed(self, name: str,
+                            preferred_node: int | None = None
+                            ) -> VpeObject | None:
+        """Queue a VPE on a time-shared PE (no endpoint wiring yet —
+        that happens at switch-in)."""
+        vpe = self.ctxsw.place(name, preferred_node)
+        if vpe is None:
+            return None
+        vpe.captable.insert(Capability(CapKind.VPE, vpe))
+        # The loader capability targets the DRAM staging area, not the
+        # (occupied) SPM.
+        vpe.captable.insert(
+            Capability(CapKind.MEM, self.ctxsw.staging_object(vpe))
+        )
+        return vpe
+
+    def wire_syscall_channel(self, vpe: VpeObject):
+        """Generator: configure the standard endpoints of a VPE's DTU
+        (reply ringbuffer + send gate to the kernel)."""
+        yield from self.dtu.configure_remote(
+            vpe.node,
+            "configure",
+            APP_REPLY_EP,
+            EndpointRegisters.receive_config(
+                buffer_addr=0,
+                slot_size=REPLY_SLOT_BYTES,
+                slot_count=REPLY_RING_SLOTS,
+            ),
+        )
+        # The label is the VPE id, chosen by the kernel and unforgeable
+        # by the application.
+        yield from self.dtu.configure_remote(
+            vpe.node,
+            "configure",
+            APP_SYSCALL_EP,
+            EndpointRegisters.send_config(
+                target_node=self.node,
+                target_ep=KERNEL_SYSCALL_EP,
+                label=vpe.id,
+                credits=2,
+                msg_size=SYSCALL_MSG_BYTES + HEADER_BYTES,
+            ),
+        )
+
+    def start_vpe(self, vpe: VpeObject, entry, args: tuple) -> None:
+        """Start software on the VPE's PE (the M3 system layer provides
+        the actual loader hook)."""
+        if vpe.state == VpeState.DEAD:
+            raise SyscallError(f"VPE {vpe.name!r} is dead")
+        if self.start_software is None:
+            raise RuntimeError("kernel has no software loader attached")
+        if not vpe.resident:
+            # A queued multiplexed VPE runs when it gets the PE.
+            self.ctxsw.start_queued(vpe, entry, args)
+            return
+        vpe.state = VpeState.RUNNING
+        self.start_software(vpe, entry, args)
+
+    def vpe_exited(self, vpe: VpeObject, exit_code: object) -> None:
+        """Mark a VPE dead, free its PE, and wake all waiters."""
+        vpe.state = VpeState.DEAD
+        vpe.exit_code = exit_code
+        vpe.pe.release()
+        for waiter_vpe, slot in vpe.waiters:
+            self._reply(waiter_vpe, slot, ("ok", exit_code))
+        vpe.waiters.clear()
+        for event in vpe.exit_events:
+            event.succeed(exit_code)
+        vpe.exit_events.clear()
+        self.ctxsw.vpe_gone(vpe)
+        self.ctxsw.child_exited(vpe)
+
+    # ------------------------------------------------------------------
+    # The dispatch loop
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """Generator: the kernel main loop (runs forever on the kernel PE).
+
+        The loop is strictly event-driven and never blocks on a single
+        peer: it serves syscall messages *and* service replies (session
+        negotiations, Section 4.5.3), so a service doing a syscall while
+        the kernel negotiates with it cannot deadlock the system.
+        """
+        from repro.sim.events import first_of
+
+        if not self._booted:
+            yield from self.boot()
+        while True:
+            progressed = False
+            fetched = self.dtu.fetch_message(KERNEL_SYSCALL_EP)
+            if fetched is not None:
+                yield from self._handle_syscall(*fetched)
+                progressed = True
+            fetched = self.dtu.fetch_message(KERNEL_REPLY_EP)
+            if fetched is not None:
+                yield from self._handle_service_reply(*fetched)
+                progressed = True
+            if not progressed:
+                yield first_of(
+                    self.sim,
+                    self.dtu.signal(KERNEL_SYSCALL_EP).wait(),
+                    self.dtu.signal(KERNEL_REPLY_EP).wait(),
+                )
+
+    def _handle_syscall(self, slot: int, message):
+        """Generator: dispatch one syscall message and reply."""
+        self.syscall_count += 1
+        vpe = self.vpes.get(message.label)
+        yield self.sim.delay(params.M3_KERNEL_DISPATCH_CYCLES, tag=Tag.OS)
+        if vpe is None:
+            self.dtu.ack_message(KERNEL_SYSCALL_EP, slot)
+            return
+        opcode, args = message.payload
+        handler = getattr(self, f"_sys_{opcode}", None)
+        try:
+            if handler is None:
+                raise SyscallError(f"unknown syscall {opcode!r}")
+            result = yield from handler(vpe, slot, *args)
+        except (SyscallError, KeyError, ValueError, TypeError) as exc:
+            result = None
+            reply = ("err", str(exc))
+        else:
+            if result is NO_REPLY:
+                return
+            reply = ("ok", result)
+        yield self.sim.delay(params.M3_KERNEL_REPLY_CYCLES, tag=Tag.OS)
+        yield self.dtu.reply(KERNEL_SYSCALL_EP, slot, reply, SYSCALL_MSG_BYTES)
+
+    def _reply(self, vpe: VpeObject, slot: int, payload) -> None:
+        """Late reply to a deferred syscall (fire-and-forget).
+
+        The waiter may have *migrated* since it sent the syscall; the
+        stored reply information is retargeted to its current node
+        first (the kernel's bookkeeping of where each VPE lives).
+        """
+        self._retarget_parked_message(vpe, slot)
+        self.sim.ledger.charge(Tag.OS, params.M3_KERNEL_REPLY_CYCLES)
+        self.dtu.reply(KERNEL_SYSCALL_EP, slot, payload, SYSCALL_MSG_BYTES)
+
+    def _retarget_parked_message(self, vpe: VpeObject, slot: int) -> None:
+        import dataclasses
+
+        ring = self.dtu.ringbuffer(KERNEL_SYSCALL_EP)
+        message = ring.peek(slot)
+        if message.header.reply_node == vpe.node:
+            return
+        header = dataclasses.replace(
+            message.header, reply_node=vpe.node, reply_ep=APP_REPLY_EP
+        )
+        ring._slots[slot] = dataclasses.replace(message, header=header)
+
+    # ------------------------------------------------------------------
+    # Syscall handlers.  Each is a generator taking (vpe, slot, *args).
+    # ------------------------------------------------------------------
+
+    def _sys_noop(self, vpe, slot):
+        return ()
+        yield  # pragma: no cover - makes this a generator
+
+    def _sys_create_vpe(self, vpe, slot, name, pe_type):
+        child = yield from self.create_vpe(name, pe_type, creator=vpe)
+        # Give the *parent* a capability for the child VPE and its SPM.
+        child_vpe_cap = child.captable.get(0)
+        child_spm_cap = child.captable.get(1)
+        vpe_sel = vpe.captable.insert(child_vpe_cap.derive())
+        spm_sel = vpe.captable.insert(child_spm_cap.derive())
+        return (vpe_sel, spm_sel, child.id)
+
+    def _sys_vpe_start(self, vpe, slot, vpe_sel, entry, args):
+        child = vpe.captable.get(vpe_sel, CapKind.VPE).obj
+        self.start_vpe(child, entry, tuple(args))
+        return ()
+        yield  # pragma: no cover
+
+    def _sys_vpe_wait(self, vpe, slot, vpe_sel):
+        child = vpe.captable.get(vpe_sel, CapKind.VPE).obj
+        if child.state == VpeState.DEAD:
+            return child.exit_code
+        child.waiters.append((vpe, slot))
+        return NO_REPLY
+        yield  # pragma: no cover
+
+    def _sys_vpe_migrate(self, vpe, slot, vpe_sel):
+        """Migrate a suspended/queued VPE (the caller must hold its
+        capability) to a free PE; returns the new node."""
+        child = vpe.captable.get(vpe_sel, CapKind.VPE).obj
+        if child.resident and child.state == VpeState.RUNNING:
+            raise SyscallError(
+                f"VPE {child.name!r} is running; only suspended or queued "
+                "VPEs can migrate"
+            )
+        target = self.platform.find_free_pe()
+        if target is None or target.node == self.node:
+            raise SyscallError("no free PE to migrate to")
+        try:
+            self.ctxsw.migrate(child, target)
+        except ValueError as exc:
+            raise SyscallError(str(exc)) from None
+        return target.node
+        yield  # pragma: no cover
+
+    def _sys_vpe_wait_yield(self, vpe, slot, vpe_sel):
+        """Wait for a VPE *and* offer the caller's PE for reuse —
+        Section 3.3's "inform the kernel about a potentially reusable
+        core"."""
+        if not self.multiplexing:
+            return (yield from self._sys_vpe_wait(vpe, slot, vpe_sel))
+        child = vpe.captable.get(vpe_sel, CapKind.VPE).obj
+        return (yield from self.ctxsw.wait_yield(vpe, slot, child))
+
+    def _sys_exit(self, vpe, slot, exit_code):
+        self.dtu.ack_message(KERNEL_SYSCALL_EP, slot)
+        self.vpe_exited(vpe, exit_code)
+        return NO_REPLY
+        yield  # pragma: no cover
+
+    def _sys_request_mem(self, vpe, slot, size, perm_value):
+        address = self.memory.allocate(size)
+        obj = MemObject(
+            self.platform.dram_node, address, size, MemoryPerm(perm_value)
+        )
+        return vpe.captable.insert(Capability(CapKind.MEM, obj))
+        yield  # pragma: no cover
+
+    def _sys_derive_mem(self, vpe, slot, mem_sel, offset, size, perm_value):
+        parent_cap = vpe.captable.get(mem_sel, CapKind.MEM)
+        derived = parent_cap.obj.slice(offset, size, MemoryPerm(perm_value))
+        return vpe.captable.insert(parent_cap.derive(derived))
+        yield  # pragma: no cover
+
+    def _sys_create_rgate(self, vpe, slot, slot_size, slot_count):
+        obj = RecvGateObject(slot_size=slot_size, slot_count=slot_count)
+        return vpe.captable.insert(Capability(CapKind.RECV, obj))
+        yield  # pragma: no cover
+
+    def _sys_create_sgate(self, vpe, slot, rgate_sel, label, credits):
+        rgate_cap = vpe.captable.get(rgate_sel, CapKind.RECV)
+        obj = SendGateObject(rgate_cap.obj, label, credits)
+        return vpe.captable.insert(rgate_cap.derive(obj, kind=CapKind.SEND))
+        yield  # pragma: no cover
+
+    def _sys_activate(self, vpe, slot, ep_index, cap_sel):
+        if not (0 <= ep_index < len(vpe.pe.dtu.eps)):
+            raise SyscallError(f"endpoint {ep_index} out of range")
+        if cap_sel < 0:
+            yield from self.dtu.configure_remote(vpe.node, "invalidate", ep_index)
+            return ()
+        cap = vpe.captable.get(cap_sel)
+        if cap.kind == CapKind.RECV:
+            if cap.obj.owner is not None and cap.obj.owner is not vpe:
+                raise SyscallError(
+                    "an active receive gate cannot move to another VPE"
+                )
+            cap.obj.owner = vpe
+        elif cap.kind == CapKind.SEND and not cap.obj.target.active:
+            # Defer until the receiver is ready (Section 4.5.4).
+            cap.obj.target.pending_activations.append(
+                (vpe, slot, ep_index, cap)
+            )
+            return NO_REPLY
+        registers = self._registers_for(cap)
+        yield from self.dtu.configure_remote(
+            vpe.node, "configure", ep_index, registers
+        )
+        self._bind_ep(vpe, ep_index, cap)
+        if cap.kind == CapKind.RECV:
+            cap.obj.ep_index = ep_index
+            self._flush_pending_activations(cap.obj)
+        return ()
+
+    def _bind_ep(self, vpe, ep_index: int, cap: Capability) -> None:
+        """Record that ``cap`` now occupies (vpe, ep); unbind the previous
+        occupant so revocation only invalidates live configurations."""
+        key = (vpe.id, ep_index)
+        previous = self._ep_bindings.get(key)
+        if previous is not None:
+            previous.bound_eps.discard(key)
+        self._ep_bindings[key] = cap
+        cap.bound_eps.add(key)
+
+    def _flush_pending_activations(self, rgate: RecvGateObject) -> None:
+        """Complete send-gate activations deferred on ``rgate``."""
+        pending, rgate.pending_activations = rgate.pending_activations, []
+        for waiter_vpe, slot, ep_index, cap in pending:
+
+            def completion(waiter_vpe=waiter_vpe, slot=slot,
+                           ep_index=ep_index, cap=cap):
+                registers = self._registers_for(cap)
+                yield from self.dtu.configure_remote(
+                    waiter_vpe.node, "configure", ep_index, registers
+                )
+                self._bind_ep(waiter_vpe, ep_index, cap)
+                self._reply(waiter_vpe, slot, ("ok", ()))
+
+            self.sim.process(completion(), "kernel.deferred-activate")
+
+    def _registers_for(self, cap: Capability) -> EndpointRegisters:
+        if cap.kind == CapKind.SEND:
+            gate: SendGateObject = cap.obj
+            if gate.target.ep_index is None:
+                raise SyscallError("target receive gate is not activated")
+            return EndpointRegisters.send_config(
+                target_node=gate.target.node,
+                target_ep=gate.target.ep_index,
+                label=gate.label,
+                credits=gate.credits,
+                msg_size=gate.target.slot_size,
+            )
+        if cap.kind == CapKind.RECV:
+            gate: RecvGateObject = cap.obj
+            return EndpointRegisters.receive_config(
+                buffer_addr=0,
+                slot_size=gate.slot_size,
+                slot_count=gate.slot_count,
+            )
+        if cap.kind == CapKind.MEM:
+            region: MemObject = cap.obj
+            return EndpointRegisters.memory_config(
+                region.node, region.address, region.size, region.perm
+            )
+        raise SyscallError(f"cannot activate a {cap.kind.value} capability")
+
+    def _sys_delegate(self, vpe, slot, vpe_sel, src_sel):
+        target = vpe.captable.get(vpe_sel, CapKind.VPE).obj
+        source_cap = vpe.captable.get(src_sel)
+        if source_cap.kind == CapKind.RECV and source_cap.obj.active:
+            # "the kernel only allows to delegate/obtain send and memory
+            # capabilities, but not receive capabilities" once active
+            # (Section 4.5.4); inactive receive gates are still movable.
+            raise SyscallError("active receive capabilities cannot be delegated")
+        return target.captable.insert(source_cap.derive())
+        yield  # pragma: no cover
+
+    def _sys_revoke(self, vpe, slot, src_sel):
+        cap = vpe.captable.get(src_sel)
+        removed = revoke(cap)
+        for victim in removed:
+            yield from self._teardown(victim)
+        return len(removed)
+
+    def _teardown(self, cap: Capability):
+        """Generator: undo hardware/software state behind a revoked cap."""
+        # Invalidate every endpoint this capability is configured on —
+        # revocation must cut hardware access, not just bookkeeping.
+        for vpe_id, ep_index in sorted(cap.bound_eps):
+            self._ep_bindings.pop((vpe_id, ep_index), None)
+            holder = self.vpes.get(vpe_id)
+            if holder is not None and holder.state != VpeState.DEAD:
+                yield from self.dtu.configure_remote(
+                    holder.node, "invalidate", ep_index
+                )
+        cap.bound_eps.clear()
+        if cap.kind == CapKind.RECV and cap.obj.ep_index is not None:
+            cap.obj.ep_index = None
+        elif cap.kind == CapKind.VPE:
+            vpe: VpeObject = cap.obj
+            if vpe.state != VpeState.DEAD:
+                # "the owner of the VPE capability could revoke it to let
+                # the kernel reset the associated PE" (Section 4.5.5).
+                occupant = vpe.pe.occupant
+                if occupant is not None and occupant.alive:
+                    occupant.interrupt("vpe-revoked")
+                self.vpe_exited(vpe, None)
+        elif cap.kind == CapKind.MEM and cap.parent is None:
+            region: MemObject = cap.obj
+            if region.node == self.platform.dram_node:
+                self.memory.free(region.address, region.size)
+
+    def _sys_create_srv(self, vpe, slot, name, rgate_sel):
+        if name in self.services:
+            raise SyscallError(f"service {name!r} already registered")
+        rgate_cap = vpe.captable.get(rgate_sel, CapKind.RECV)
+        if rgate_cap.obj.ep_index is None:
+            raise SyscallError("service receive gate must be activated first")
+        service = ServiceObject(name=name, rgate=rgate_cap.obj, owner=vpe)
+        self.services[name] = service
+        # The kernel<->service channel, "created at service registration"
+        # (Section 4.5.3): a send endpoint on the kernel's own DTU.
+        ep_index = self._next_service_ep
+        if ep_index >= len(self.dtu.eps):
+            raise SyscallError("kernel is out of service endpoints")
+        self._next_service_ep += 1
+        self._service_eps[name] = ep_index
+        self.dtu.configure_local(
+            "configure",
+            ep_index,
+            EndpointRegisters.send_config(
+                target_node=service.rgate.node,
+                target_ep=service.rgate.ep_index,
+                label=0,  # label 0 marks the kernel to the service
+                credits=service.rgate.slot_count,
+                msg_size=service.rgate.slot_size,
+            ),
+        )
+        return vpe.captable.insert(
+            rgate_cap.derive(service, kind=CapKind.SERVICE)
+        )
+        yield  # pragma: no cover
+
+    def _sys_open_session(self, vpe, slot, name):
+        service = self.services.get(name)
+        if service is None:
+            raise SyscallError(f"no service {name!r}")
+        session_id = service.next_session_id()
+        # Negotiate with the service over the kernel<->service channel;
+        # the reply (labelled with the negotiation id) completes the
+        # session asynchronously — the kernel loop must stay responsive
+        # because the service may be blocked in a syscall of its own.
+        negotiation = next(self._negotiation_ids)
+        self._pending_sessions[negotiation] = (vpe, slot, service, session_id)
+        yield self.dtu.send(
+            self._service_eps[name],
+            ("open_session", (session_id, vpe.id)),
+            SYSCALL_MSG_BYTES,
+            reply_ep=KERNEL_REPLY_EP,
+            reply_label=negotiation,
+        )
+        return NO_REPLY
+
+    def _handle_service_reply(self, slot, message):
+        """Generator: complete a parked session negotiation."""
+        self.dtu.ack_message(KERNEL_REPLY_EP, slot)
+        pending = self._pending_sessions.pop(message.label, None)
+        if pending is None:
+            return
+        vpe, syscall_slot, service, session_id = pending
+        yield self.sim.delay(params.M3_KERNEL_DISPATCH_CYCLES, tag=Tag.OS)
+        status, _detail = message.payload
+        if status != "ok":
+            self._reply(
+                vpe, syscall_slot,
+                ("err", f"service {service.name!r} denied the session"),
+            )
+            return
+        session = SessionObject(service=service, label=session_id, client=vpe)
+        session_sel = vpe.captable.insert(Capability(CapKind.SESSION, session))
+        sgate = SendGateObject(
+            target=service.rgate, label=session_id, credits=2
+        )
+        sgate_sel = vpe.captable.insert(Capability(CapKind.SEND, sgate))
+        service.sessions[session_id] = vpe
+        self._reply(vpe, syscall_slot, ("ok", (session_sel, sgate_sel)))
+
+    def _sys_srv_delegate(self, vpe, slot, service_sel, session_id,
+                          src_mem_sel, offset, size, perm_value):
+        service_cap = vpe.captable.get(service_sel, CapKind.SERVICE)
+        service: ServiceObject = service_cap.obj
+        client = service.sessions.get(session_id)
+        if client is None:
+            raise SyscallError(f"no session {session_id} at {service.name!r}")
+        source_cap = vpe.captable.get(src_mem_sel, CapKind.MEM)
+        derived = source_cap.obj.slice(offset, size, MemoryPerm(perm_value))
+        return client.captable.insert(source_cap.derive(derived))
+        yield  # pragma: no cover

@@ -1,0 +1,103 @@
+"""Kernel objects: what capabilities refer to.
+
+"A capability is thereby a pair consisting of a kernel object and
+permissions for this object" (Section 4.5.3).  These classes are the
+kernel-side state; applications only ever hold selectors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from repro.dtu.registers import MemoryPerm
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.m3.kernel.vpe import VpeObject
+
+
+@dataclasses.dataclass
+class MemObject:
+    """A region of (usually DRAM) memory reachable via a memory endpoint."""
+
+    node: int
+    address: int
+    size: int
+    perm: MemoryPerm
+
+    def slice(self, offset: int, size: int, perm: MemoryPerm) -> "MemObject":
+        """A sub-region with possibly reduced permissions (derive_mem)."""
+        if offset < 0 or size <= 0 or offset + size > self.size:
+            raise ValueError(
+                f"slice [{offset}, {offset + size}) outside region of {self.size}B"
+            )
+        if perm & ~self.perm:
+            raise ValueError("cannot widen permissions when deriving memory")
+        return MemObject(self.node, self.address + offset, size, perm)
+
+
+@dataclasses.dataclass
+class RecvGateObject:
+    """A receive endpoint somewhere in the system.
+
+    A receive gate is *movable while inactive* — "they can only be
+    moved to different endpoints or PEs after invalidating all
+    connected send gates and ensuring that no transfer is in progress"
+    (Section 4.5.4) — so ``owner`` is fixed at activation, not creation.
+    """
+
+    slot_size: int
+    slot_count: int
+    owner: "VpeObject | None" = None
+    #: which endpoint of the owner's DTU the gate is activated on.
+    ep_index: int | None = None
+    #: deferred send-gate activations waiting for this gate to become
+    #: ready (the kernel "defer[s] the reply to the system call until
+    #: the receiver is ready to receive messages", Section 4.5.4).
+    pending_activations: list = dataclasses.field(default_factory=list)
+
+    @property
+    def active(self) -> bool:
+        return self.ep_index is not None
+
+    @property
+    def node(self) -> int:
+        if self.owner is None:
+            raise RuntimeError("receive gate is not activated yet")
+        return self.owner.node
+
+
+@dataclasses.dataclass
+class SendGateObject:
+    """Permission to send to a receive gate, with a fixed label."""
+
+    target: RecvGateObject
+    label: int
+    credits: int
+
+
+@dataclasses.dataclass
+class ServiceObject:
+    """A registered OS service reachable through its receive gate."""
+
+    name: str
+    rgate: RecvGateObject
+    owner: "VpeObject"
+    #: session id -> client VPE, for service-initiated delegation.
+    sessions: dict = dataclasses.field(default_factory=dict)
+    _session_ids: itertools.count = dataclasses.field(
+        default_factory=lambda: itertools.count(1)
+    )
+
+    def next_session_id(self) -> int:
+        return next(self._session_ids)
+
+
+@dataclasses.dataclass
+class SessionObject:
+    """A client's session with a service (identified by its label)."""
+
+    service: ServiceObject
+    label: int
+    client: "VpeObject | None" = None

@@ -1,0 +1,81 @@
+"""Client side of the m3fs protocol: a session plus request helpers."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.m3.kernel import syscalls
+from repro.m3.lib.env import Env
+from repro.m3.lib.gate import BoundRecvGate, SendGate
+from repro.m3.services.m3fs.fs import FsError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.m3.lib.file import File
+
+
+class M3fsClient:
+    """One application's session with the m3fs service."""
+
+    def __init__(self, env: Env, session_sel: int, sgate: SendGate):
+        self.env = env
+        self.session_sel = session_sel
+        self.sgate = sgate
+        self.reply_gate = BoundRecvGate(env, Env.EP_REPLY)
+
+    @classmethod
+    def connect(cls, env: Env, service: str = "m3fs"):
+        """Generator: open a session with the filesystem service."""
+        session_sel, sgate_sel = yield from env.syscall(
+            syscalls.OPEN_SESSION, service
+        )
+        return cls(env, session_sel, SendGate(env, sgate_sel))
+
+    def request(self, operation: str, *args):
+        """Generator: one RPC to the service; returns the result payload.
+
+        The client-side share (marshalling, unmarshalling, descriptor
+        bookkeeping) dominates the request cost; only the small
+        server-side share serialises at the service (see
+        :data:`repro.params.M3FS_CLIENT_RPC_CYCLES`).
+        """
+        from repro import params
+
+        yield self.env.sim.delay(params.M3FS_CLIENT_RPC_CYCLES, tag="os")
+        message = yield from self.sgate.call(
+            (operation, args), self.reply_gate
+        )
+        status, result = message.payload
+        if status != "ok":
+            raise FsError(result)
+        return result
+
+    # -- file access -----------------------------------------------------------
+
+    def open(self, path: str, flags: int):
+        """Generator: open (possibly creating) a file; returns a File."""
+        from repro.m3.lib.file import File
+
+        fd, size = yield from self.request("open", path, int(flags))
+        return File(self.env, self, fd, size, int(flags), path)
+
+    # -- metadata operations ------------------------------------------------------
+
+    def stat(self, path: str):
+        """Generator: (kind, size, links, extent_count)."""
+        return (yield from self.request("stat", path))
+
+    def mkdir(self, path: str):
+        yield from self.request("mkdir", path)
+
+    def unlink(self, path: str):
+        yield from self.request("unlink", path)
+
+    def link(self, existing: str, new_path: str):
+        yield from self.request("link", existing, new_path)
+
+    def rename(self, old_path: str, new_path: str):
+        yield from self.request("rename", old_path, new_path)
+
+    def readdir(self, path: str):
+        """Generator: sorted entry names of a directory."""
+        return list((yield from self.request("readdir", path)))

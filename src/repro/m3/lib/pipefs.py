@@ -1,0 +1,141 @@
+"""The pipe filesystem: pipes integrated into the VFS.
+
+"Besides m3fs, it provides a pipe filesystem to integrate pipes into
+the VFS, making it transparent for applications whether they access a
+pipe or a file in m3fs" (Section 4.5.8).
+
+A :class:`PipeFs` instance is mounted at a prefix (say ``/pipes``);
+opening a path below it for writing yields the pipe's writer end,
+opening it for reading yields the reader end.  The underlying pipe is
+created lazily on first open.  The returned channel objects implement
+the same ``read``/``write``/``close`` generator protocol as
+:class:`~repro.m3.lib.file.File`, so code like cat+tr works unchanged
+on either.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.m3.lib.file import OpenFlags
+from repro.m3.lib.pipe import Pipe
+from repro.m3.services.m3fs.fs import FsError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.m3.lib.env import Env
+
+
+class _PipeEntry:
+    def __init__(self):
+        self.pipe: Pipe | None = None
+        self.reader_taken = False
+        self.writer_taken = False
+
+
+class PipeChannel:
+    """File-compatible wrapper around one pipe end."""
+
+    def __init__(self, path: str, endpoint, writable: bool):
+        self.path = path
+        self._endpoint = endpoint
+        self._writable = writable
+
+    def read(self, count: int):
+        if self._writable:
+            raise FsError(f"pipe {self.path!r} opened write-only")
+        return (yield from self._endpoint.read(count))
+
+    def write(self, data: bytes):
+        if not self._writable:
+            raise FsError(f"pipe {self.path!r} opened read-only")
+        return (yield from self._endpoint.write(data))
+
+    def seek(self, offset: int, whence: int = 0):
+        raise FsError("pipes are not seekable")
+        yield  # pragma: no cover
+
+    def close(self):
+        if self._writable:
+            # No draining: through the pipefs both ends may live in the
+            # same VPE, which reads only after the writer closed.
+            yield from self._endpoint.close(drain=False)
+        return None
+        yield  # pragma: no cover
+
+
+class PipeFs:
+    """A VFS-mountable namespace of named pipes.
+
+    One VPE creates the PipeFs and both ends are used from VPEs that
+    share the mount (typically parent and child; the parent passes the
+    delegated pipe capabilities through entry arguments exactly as with
+    anonymous pipes — see :meth:`delegate_reader` on the entry's pipe).
+    """
+
+    def __init__(self, env: "Env", ring_bytes: int = 64 * 1024,
+                 slots: int = 16):
+        self.env = env
+        self.ring_bytes = ring_bytes
+        self.slots = slots
+        self._entries: dict[str, _PipeEntry] = {}
+
+    def _entry(self, path: str):
+        entry = self._entries.get(path)
+        if entry is None:
+            entry = _PipeEntry()
+            self._entries[path] = entry
+        if entry.pipe is None:
+            entry.pipe = yield from Pipe.create(
+                self.env, ring_bytes=self.ring_bytes, slots=self.slots
+            )
+        return entry
+
+    # -- the filesystem-client protocol used by the VFS ---------------------
+
+    def open(self, path: str, flags):
+        """Generator: an end of the named pipe at ``path``."""
+        flags = OpenFlags(int(flags))
+        wants_write = bool(flags & OpenFlags.W)
+        wants_read = bool(flags & OpenFlags.R)
+        if wants_read == wants_write:
+            raise FsError("a pipe end is opened either to read or to write")
+        entry = yield from self._entry(path)
+        if wants_write:
+            if entry.writer_taken:
+                raise FsError(f"pipe {path!r} already has a writer")
+            entry.writer_taken = True
+            writer = yield from entry.pipe.writer().open()
+            return PipeChannel(path, writer, writable=True)
+        if entry.reader_taken:
+            raise FsError(f"pipe {path!r} already has a reader")
+        entry.reader_taken = True
+        reader = yield from entry.pipe.reader().open()
+        return PipeChannel(path, reader, writable=False)
+
+    def stat(self, path: str):
+        entry = self._entries.get(path)
+        if entry is None:
+            raise FsError(f"no such pipe: {path!r}")
+        return ("pipe", 0, 1, 0)
+        yield  # pragma: no cover
+
+    def readdir(self, path: str):
+        if self._entries and path not in ("/", ""):
+            raise FsError("pipefs has a flat namespace")
+        return sorted(name.lstrip("/") for name in self._entries)
+        yield  # pragma: no cover
+
+    def unlink(self, path: str):
+        if path not in self._entries:
+            raise FsError(f"no such pipe: {path!r}")
+        del self._entries[path]
+        return None
+        yield  # pragma: no cover
+
+    def mkdir(self, path: str):
+        raise FsError("pipefs does not support directories")
+        yield  # pragma: no cover
+
+    def link(self, existing: str, new_path: str):
+        raise FsError("pipefs does not support links")
+        yield  # pragma: no cover

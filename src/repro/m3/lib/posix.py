@@ -1,0 +1,196 @@
+"""The POSIX emulation layer (Section 7).
+
+"we plan to support POSIX-compliant applications. ... we will add a
+POSIX emulation layer, similar to the already existing emulation layer
+for the filesystem API, that was used to replay system call traces."
+
+:class:`Posix` maps the classic int-fd API onto libm3: files through
+the VFS, pipes through the DRAM-ringbuffer pipes, process control
+through VPEs.  Everything stays a generator (simulated time), but the
+*shape* of the code matches POSIX so traced applications port 1:1.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.m3.lib.file import OpenFlags
+from repro.m3.lib.pipe import Pipe
+from repro.m3.lib.vpe import VPE
+from repro.m3.services.m3fs.fs import FsError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.m3.lib.env import Env
+
+#: the classic flag names, numerically equal to OpenFlags.
+O_RDONLY = int(OpenFlags.R)
+O_WRONLY = int(OpenFlags.W)
+O_RDWR = int(OpenFlags.RW)
+O_CREAT = int(OpenFlags.CREATE)
+O_TRUNC = int(OpenFlags.TRUNC)
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+
+class StatResult(typing.NamedTuple):
+    """A stat(2)-shaped record."""
+
+    st_kind: str  # "file" | "dir" | "pipe"
+    st_size: int
+    st_nlink: int
+
+
+class Posix:
+    """Per-VPE POSIX personality: an fd table over libm3 objects."""
+
+    def __init__(self, env: "Env"):
+        self.env = env
+        self._fds: dict[int, object] = {}
+        self._next_fd = 3  # 0..2 reserved for the std streams
+
+    # -- fd plumbing ---------------------------------------------------------
+
+    def _install(self, channel: object) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = channel
+        return fd
+
+    def _get(self, fd: int):
+        try:
+            return self._fds[fd]
+        except KeyError:
+            raise FsError(f"EBADF: {fd}") from None
+
+    # -- files ------------------------------------------------------------------
+
+    def open(self, path: str, flags: int):
+        """Generator: open(2); returns an int fd."""
+        channel = yield from self.env.vfs.open(path, OpenFlags(flags))
+        return self._install(channel)
+
+    def read(self, fd: int, count: int):
+        """Generator: read(2)."""
+        return (yield from self._get(fd).read(count))
+
+    def write(self, fd: int, data: bytes):
+        """Generator: write(2)."""
+        return (yield from self._get(fd).write(data))
+
+    def lseek(self, fd: int, offset: int, whence: int = SEEK_SET):
+        """Generator: lseek(2) (pipes raise, as in POSIX)."""
+        return (yield from self._get(fd).seek(offset, whence))
+
+    def close(self, fd: int):
+        """Generator: close(2)."""
+        channel = self._get(fd)
+        del self._fds[fd]
+        yield from channel.close()
+
+    def dup(self, fd: int) -> int:
+        """dup(2): a second fd for the same open object."""
+        return self._install(self._get(fd))
+
+    def stat(self, path: str):
+        """Generator: stat(2)."""
+        kind, size, links, _extents = yield from self.env.vfs.stat(path)
+        return StatResult(kind, size, links)
+
+    def mkdir(self, path: str):
+        yield from self.env.vfs.mkdir(path)
+
+    def unlink(self, path: str):
+        yield from self.env.vfs.unlink(path)
+
+    def link(self, existing: str, new_path: str):
+        yield from self.env.vfs.link(existing, new_path)
+
+    def listdir(self, path: str):
+        """Generator: readdir(3)."""
+        return (yield from self.env.vfs.readdir(path))
+
+    # -- pipes -----------------------------------------------------------------------
+
+    def pipe(self):
+        """Generator: pipe(2); returns (read_fd, write_fd).
+
+        Both ends start in this VPE; hand the write end to a child with
+        :meth:`spawn`'s ``pass_fds``.
+        """
+        pipe_obj = yield from Pipe.create(self.env)
+        reader = yield from pipe_obj.reader().open()
+        read_fd = self._install(_PipeEnd(reader, writable=False))
+        write_fd = self._install(_PipeEnd(pipe_obj.writer(), writable=True,
+                                          pipe=pipe_obj))
+        return read_fd, write_fd
+
+    # -- processes -------------------------------------------------------------------
+
+    def spawn(self, path: str, *args, pass_fds: tuple = ()):
+        """Generator: posix_spawn(3)-ish — run the executable at
+        ``path`` on a new VPE.
+
+        ``pass_fds`` names *pipe write ends* whose capabilities are
+        delegated to the child; the child receives
+        ``(mem_sel, sgate_sel, ring, slots)`` tuples appended to its
+        argument list (the libm3 idiom for inheriting a pipe).
+        """
+        vpe = yield from VPE.create(self.env, path.rsplit("/", 1)[-1])
+        extra = []
+        for fd in pass_fds:
+            end = self._get(fd)
+            if not isinstance(end, _PipeEnd) or not end.writable:
+                raise FsError("only pipe write ends can be passed")
+            handoff = yield from end.pipe.delegate_writer(vpe)
+            end.delegated = True
+            extra.append(tuple(handoff))
+        yield from vpe.exec(path, *args, *extra)
+        return vpe
+
+    def waitpid(self, vpe: VPE):
+        """Generator: waitpid(2)."""
+        return (yield from vpe.wait())
+
+
+class _PipeEnd:
+    """File-shaped wrapper for one pipe end in the fd table."""
+
+    def __init__(self, endpoint, writable: bool, pipe: Pipe | None = None):
+        self.writable = writable
+        self.pipe = pipe
+        self._endpoint = endpoint
+        self.delegated = False
+        self._opened = endpoint is not None and not writable
+
+    def _writer(self):
+        if self._opened:
+            return
+        self._endpoint = yield from self._endpoint.open()
+        self._opened = True
+
+    def read(self, count: int):
+        if self.writable:
+            raise FsError("EBADF: write end")
+        return (yield from self._endpoint.read(count))
+
+    def write(self, data: bytes):
+        if not self.writable:
+            raise FsError("EBADF: read end")
+        if self.delegated:
+            raise FsError("EBADF: write end was passed to a child")
+        yield from self._writer()
+        return (yield from self._endpoint.write(data))
+
+    def seek(self, offset: int, whence: int = 0):
+        raise FsError("ESPIPE")
+        yield  # pragma: no cover
+
+    def close(self):
+        if self.writable and not self.delegated:
+            yield from self._writer()
+            # no draining: with pipe(2) both ends may live in one VPE
+            yield from self._endpoint.close(drain=False)
+        return None
+        yield  # pragma: no cover

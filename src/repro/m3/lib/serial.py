@@ -1,0 +1,51 @@
+"""Serial output: the paper's ``Serial::get() << "Sum: " << ...`` API.
+
+Every VPE can stream characters to the platform's serial console; the
+C++ shift-operator style is mirrored with ``<<``.  Output is collected
+per system (with timestamps and the writing VPE), which the examples
+and tests read back.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.m3.lib.env import Env
+
+
+class Serial:
+    """A line-buffered serial stream for one VPE."""
+
+    def __init__(self, env: "Env"):
+        self.env = env
+        self._line: list[str] = []
+
+    def __lshift__(self, value: object) -> "Serial":
+        """Append ``value``; a ``"\\n"`` (or trailing newline) flushes."""
+        text = str(value)
+        while "\n" in text:
+            head, text = text.split("\n", 1)
+            self._line.append(head)
+            self._flush()
+        if text:
+            self._line.append(text)
+        return self
+
+    def _flush(self) -> None:
+        line = "".join(self._line)
+        self._line.clear()
+        console = self.env.system.serial_log
+        console.append((self.env.sim.now, self.env.vpe_id, line))
+
+    def flush(self) -> None:
+        """Force out a partial line."""
+        if self._line:
+            self._flush()
+
+
+def get(env: "Env") -> Serial:
+    """The VPE's serial stream (``Serial::get()``)."""
+    if not hasattr(env, "_serial"):
+        env._serial = Serial(env)
+    return env._serial

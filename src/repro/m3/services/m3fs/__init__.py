@@ -1,0 +1,18 @@
+"""m3fs: the in-memory filesystem service.
+
+"organized like classical UNIX filesystems, consisting of a superblock,
+an inode and block bitmap, an inode table and directories with pointers
+to the inodes.  The data of an inode is stored in a tree of tables
+containing extents" (Section 4.5.8).  Meta-data operations go through
+the service; data transfers go directly to memory via delegated memory
+capabilities.
+"""
+
+from repro.m3.services.m3fs.bitmap import Bitmap
+from repro.m3.services.m3fs.extents import Extent
+from repro.m3.services.m3fs.inode import Inode
+from repro.m3.services.m3fs.superblock import SuperBlock
+from repro.m3.services.m3fs.fs import FsError, M3FS
+from repro.m3.services.m3fs.server import M3fsServer
+
+__all__ = ["Bitmap", "Extent", "FsError", "Inode", "M3FS", "M3fsServer", "SuperBlock"]

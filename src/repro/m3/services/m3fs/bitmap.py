@@ -1,0 +1,79 @@
+"""Allocation bitmaps (for inodes and blocks)."""
+
+from __future__ import annotations
+
+
+class Bitmap:
+    """A bitmap of ``count`` allocatable units with contiguous-run support."""
+
+    def __init__(self, count: int):
+        if count < 1:
+            raise ValueError("bitmap needs at least one bit")
+        self.count = count
+        self._bits = bytearray(count)  # one byte per bit: simple and fast enough
+        self.used = 0
+
+    def is_set(self, index: int) -> bool:
+        self._check(index)
+        return bool(self._bits[index])
+
+    def alloc(self) -> int:
+        """Allocate one unit; returns its index."""
+        start, _ = self.alloc_run(1, 1)
+        return start
+
+    def alloc_run(self, want: int, minimum: int = 1) -> tuple[int, int]:
+        """First-fit a free run of up to ``want`` units.
+
+        Returns ``(start, got)`` where ``minimum <= got <= want`` — m3fs
+        appends in large chunks but accepts shorter runs when the free
+        space is fragmented (which is what creates file fragmentation).
+        Raises MemoryError when not even ``minimum`` is available.
+        """
+        if want < 1 or minimum < 1 or minimum > want:
+            raise ValueError(f"bad run request want={want} minimum={minimum}")
+        index = 0
+        best: tuple[int, int] | None = None
+        while index < self.count:
+            if self._bits[index]:
+                index += 1
+                continue
+            run_start = index
+            while index < self.count and not self._bits[index] and \
+                    index - run_start < want:
+                index += 1
+            run_length = index - run_start
+            if run_length >= want:
+                best = (run_start, want)
+                break
+            if run_length >= minimum and (best is None or run_length > best[1]):
+                best = (run_start, run_length)
+            # skip to the end of this free run
+            while index < self.count and not self._bits[index]:
+                index += 1
+        if best is None:
+            raise MemoryError(f"no free run of at least {minimum} units")
+        start, got = best
+        for i in range(start, start + got):
+            self._bits[i] = 1
+        self.used += got
+        return start, got
+
+    def free_run(self, start: int, count: int) -> None:
+        """Release ``count`` units starting at ``start``."""
+        self._check(start)
+        if count < 1 or start + count > self.count:
+            raise ValueError(f"bad free range [{start}, {start + count})")
+        for i in range(start, start + count):
+            if not self._bits[i]:
+                raise ValueError(f"double free of unit {i}")
+            self._bits[i] = 0
+        self.used -= count
+
+    @property
+    def free(self) -> int:
+        return self.count - self.used
+
+    def _check(self, index: int) -> None:
+        if not (0 <= index < self.count):
+            raise ValueError(f"index {index} outside bitmap of {self.count}")

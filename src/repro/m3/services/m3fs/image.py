@@ -1,0 +1,175 @@
+"""The m3fs on-disk image format.
+
+"the organization of the data has been chosen to be suitable for
+persistent storage as well, so that we can support it later"
+(Section 4.5.8) — this module supports it: the filesystem's metadata
+(superblock, bitmaps, inode table with extent lists, directories)
+serialises into the reserved metadata blocks at the front of the data
+region, so a filesystem survives a service restart with the data blocks
+untouched in place.
+
+Layout (little-endian, 8-byte fields unless noted):
+
+    magic "M3FSIMG\\0" | version | block_size | total_blocks |
+    total_inodes | append_blocks | reserved_meta_blocks | inode_count
+    per inode: ino | kind (1B) | links | size | extent_count |
+               extents (start, count)* | entry_count |
+               entries (name_len u16, name utf-8, child_ino)*
+
+Bitmaps are not stored: they are reconstructed from the inode table
+(extents mark blocks, inodes mark inode slots), which keeps the image
+small and guarantees consistency.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.m3.services.m3fs.extents import Extent
+from repro.m3.services.m3fs.fs import FsError, M3FS
+from repro.m3.services.m3fs.inode import Inode
+from repro.m3.services.m3fs.superblock import SuperBlock
+
+MAGIC = b"M3FSIMG\x00"
+VERSION = 1
+
+#: blocks reserved at the front of the region for the metadata image.
+META_BLOCKS = 64
+
+_U64 = struct.Struct("<Q")
+_U16 = struct.Struct("<H")
+
+
+def _pack_u64(out: bytearray, *values: int) -> None:
+    for value in values:
+        out += _U64.pack(value)
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.offset = 0
+
+    def u64(self) -> int:
+        (value,) = _U64.unpack_from(self.data, self.offset)
+        self.offset += 8
+        return value
+
+    def u16(self) -> int:
+        (value,) = _U16.unpack_from(self.data, self.offset)
+        self.offset += 2
+        return value
+
+    def take(self, count: int) -> bytes:
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+
+def serialize(fs: M3FS) -> bytes:
+    """The filesystem's metadata as one byte string."""
+    out = bytearray()
+    out += MAGIC
+    _pack_u64(out, VERSION, fs.sb.block_size, fs.sb.total_blocks,
+              fs.sb.total_inodes, fs.append_blocks,
+              fs.reserved_meta_blocks, len(fs.inodes))
+    for ino in sorted(fs.inodes):
+        inode = fs.inodes[ino]
+        _pack_u64(out, inode.ino)
+        out += b"d" if inode.is_dir else b"f"
+        _pack_u64(out, inode.links, inode.size, len(inode.extents))
+        for extent in inode.extents:
+            _pack_u64(out, extent.start_block, extent.block_count)
+        entries = inode.entries if inode.is_dir else {}
+        _pack_u64(out, len(entries))
+        for name, child_ino in sorted(entries.items()):
+            encoded = name.encode("utf-8")
+            out += _U16.pack(len(encoded))
+            out += encoded
+            _pack_u64(out, child_ino)
+    return bytes(out)
+
+
+def deserialize(data: bytes) -> M3FS:
+    """Rebuild a filesystem from :func:`serialize` output."""
+    reader = _Reader(data)
+    if reader.take(len(MAGIC)) != MAGIC:
+        raise FsError("not an m3fs image (bad magic)")
+    version = reader.u64()
+    if version != VERSION:
+        raise FsError(f"unsupported m3fs image version {version}")
+    block_size = reader.u64()
+    total_blocks = reader.u64()
+    total_inodes = reader.u64()
+    append_blocks = reader.u64()
+    reserved_meta_blocks = reader.u64()
+    inode_count = reader.u64()
+    fs = M3FS(
+        SuperBlock(block_size=block_size, total_blocks=total_blocks,
+                   total_inodes=total_inodes),
+        append_blocks=append_blocks,
+        reserve_meta_blocks=reserved_meta_blocks,
+    )
+    # Wipe the constructor's fresh root; the image carries inode 0.
+    fs.inodes.clear()
+    fs.inode_bitmap.free_run(M3FS.ROOT_INO, 1)
+    for _ in range(inode_count):
+        ino = reader.u64()
+        kind = "dir" if reader.take(1) == b"d" else "file"
+        links = reader.u64()
+        size = reader.u64()
+        extent_count = reader.u64()
+        extents = [
+            Extent(reader.u64(), reader.u64()) for _ in range(extent_count)
+        ]
+        entry_count = reader.u64()
+        entries = {}
+        for _ in range(entry_count):
+            name_length = reader.u16()
+            name = reader.take(name_length).decode("utf-8")
+            entries[name] = reader.u64()
+        inode = Inode(ino=ino, kind=kind, size=size, links=links,
+                      extents=extents, entries=entries)
+        fs.inodes[ino] = inode
+        # reconstruct the bitmaps
+        fs.inode_bitmap._bits[ino] = 1
+        fs.inode_bitmap.used += 1
+        for extent in extents:
+            for block in range(extent.start_block,
+                               extent.start_block + extent.block_count):
+                if fs.block_bitmap._bits[block]:
+                    raise FsError(
+                        f"corrupt image: block {block} claimed twice"
+                    )
+                fs.block_bitmap._bits[block] = 1
+            fs.block_bitmap.used += extent.block_count
+    if M3FS.ROOT_INO not in fs.inodes:
+        raise FsError("corrupt image: no root inode")
+    return fs
+
+
+def save_to_region(fs: M3FS, region_write) -> int:
+    """Write the image into the region's reserved metadata blocks.
+
+    ``region_write(offset, data)`` is any byte-level writer (the DRAM
+    array in tests, a DTU memory gate in a live service).  Returns the
+    image size.  Raises when the image outgrows the reserved blocks.
+    """
+    image = serialize(fs)
+    capacity = META_BLOCKS * fs.sb.block_size
+    if 8 + len(image) > capacity:
+        raise FsError(
+            f"metadata image of {len(image)}B exceeds the reserved "
+            f"{capacity}B"
+        )
+    region_write(0, _U64.pack(len(image)) + image)
+    return len(image)
+
+
+def load_from_region(region_read, block_size: int) -> M3FS:
+    """Rebuild a filesystem from a region's metadata blocks."""
+    (length,) = _U64.unpack(region_read(0, 8))
+    capacity = META_BLOCKS * block_size
+    if not (0 < length <= capacity - 8):
+        raise FsError(f"implausible metadata image length {length}")
+    return deserialize(bytes(region_read(8, length)))

@@ -1,0 +1,35 @@
+"""Inodes: files and directories."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.m3.services.m3fs.extents import Extent
+
+
+@dataclasses.dataclass
+class Inode:
+    """One filesystem object.
+
+    Directories keep their entries in ``entries`` (name -> inode
+    number); files keep their data placement in ``extents``.
+    """
+
+    ino: int
+    kind: str  # "file" | "dir"
+    size: int = 0
+    links: int = 1
+    extents: list[Extent] = dataclasses.field(default_factory=list)
+    entries: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in ("file", "dir"):
+            raise ValueError(f"unknown inode kind {self.kind!r}")
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind == "dir"
+
+    @property
+    def extent_count(self) -> int:
+        return len(self.extents)

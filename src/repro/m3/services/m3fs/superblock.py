@@ -1,0 +1,32 @@
+"""The superblock: filesystem geometry and usage counters."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import params
+
+
+@dataclasses.dataclass
+class SuperBlock:
+    """Filesystem-wide constants and counters."""
+
+    block_size: int = params.M3FS_BLOCK_BYTES
+    total_blocks: int = 16 * 1024  # 16 MiB with 1 KiB blocks
+    total_inodes: int = 1024
+
+    def __post_init__(self):
+        if self.block_size < 64 or self.block_size & (self.block_size - 1):
+            raise ValueError("block size must be a power of two >= 64")
+        if self.total_blocks < 1 or self.total_inodes < 1:
+            raise ValueError("filesystem must have blocks and inodes")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.block_size * self.total_blocks
+
+    def block_offset(self, block: int) -> int:
+        """Byte offset of ``block`` within the data region."""
+        if not (0 <= block < self.total_blocks):
+            raise ValueError(f"block {block} outside filesystem")
+        return block * self.block_size

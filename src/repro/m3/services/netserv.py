@@ -1,0 +1,234 @@
+"""netserv: a datagram network service.
+
+The paper names "network stacks" alongside filesystems as the OS
+services that applications provide over core-neutral protocols
+(Sections 1, 4.5.1).  m3fs demonstrates the data-via-capabilities
+pattern; netserv demonstrates the second pattern — a service that
+multiplexes a *device* (a NIC pair on a wire) among client sessions:
+
+- clients ``bind`` a port and exchange small datagrams via session
+  messages (``send_to`` / ``recv``),
+- the service moves frames through its DRAM buffer with real DTU
+  transfers, commands the NIC by message, and takes RX interrupts as
+  messages on the same receive gate it serves clients on — interrupts
+  really are "integrated with the existing concepts" (Section 4.4.2).
+
+Frame format on the wire: ``<HH`` src port, dst port, then the payload.
+"""
+
+from __future__ import annotations
+
+import struct
+import types
+import typing
+
+from repro import params
+from repro.dtu.registers import MemoryPerm
+from repro.hw.device import CMD_RECV_EP, DMA_MEM_EP, IRQ_SEND_EP, NetworkDevice, Wire
+from repro.m3.kernel import syscalls
+from repro.m3.kernel.capability import Capability, CapKind
+from repro.m3.kernel.objects import RecvGateObject, SendGateObject
+from repro.m3.lib.gate import MemGate, RecvGate, SendGate
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.m3.system import M3System
+
+_HEADER = struct.Struct("<HH")
+
+#: label that marks device interrupts on the service's receive gate
+#: (0 is the kernel; session ids start at 1 and stay well below this).
+IRQ_LABEL = 0xFFFF
+
+#: the NIC's DMA window: one TX slot then the RX ring.
+BUFFER_BYTES = 4096
+TX_SLOT = 0
+RX_BASE = 2048
+
+MAX_PAYLOAD = 200
+
+
+class _Socket:
+    def __init__(self, session_id: int):
+        self.session_id = session_id
+        self.port: int | None = None
+        self.inbox: list[tuple[int, bytes]] = []
+
+
+class NetServ:
+    """The service: socket state plus the NIC driver loop."""
+
+    def __init__(self, service_name: str = "net"):
+        self.service_name = service_name
+        self.ready = None  # Event, attached before spawn
+        self.env = None
+        self.buffer: MemGate | None = None
+        self.nic_cmd: SendGate | None = None
+        self.vpe = None
+        self.sockets: dict[int, _Socket] = {}
+        self.ports: dict[int, _Socket] = {}
+        self.frames_routed = 0
+        self.frames_dropped = 0
+
+    def main(self, env):
+        """Generator: runs as the netserv VPE."""
+        self.env = env
+        self.buffer = yield from MemGate.create(
+            env, BUFFER_BYTES, MemoryPerm.RW.value
+        )
+        rgate = yield from RecvGate.create(env, slot_size=512, slot_count=32)
+        yield from env.syscall(
+            syscalls.CREATE_SRV, self.service_name, rgate.selector
+        )
+        if self.ready is not None:
+            self.ready.succeed(self)
+        # the system layer wires the NIC and installs self.nic_cmd
+        while self.nic_cmd is None:
+            yield 500
+        while True:
+            slot, message = yield from rgate.receive()
+            yield env.os_work(params.M3FS_SERVER_CYCLES)
+            if message.label == IRQ_LABEL:
+                rgate.ack(slot)
+                yield from self._handle_irq(message.payload)
+                continue
+            operation, args = message.payload
+            if message.label == 0:
+                if operation == "open_session":
+                    session_id, _vpe = args
+                    self.sockets[session_id] = _Socket(session_id)
+                    response = ("ok", ())
+                else:
+                    response = ("err", f"unknown kernel op {operation!r}")
+            else:
+                socket = self.sockets.get(message.label)
+                if socket is None:
+                    response = ("err", "no such session")
+                else:
+                    try:
+                        handler = getattr(self, f"_op_{operation}")
+                        result = yield from handler(socket, *args)
+                        response = ("ok", result)
+                    except (ValueError, AttributeError, TypeError) as exc:
+                        response = ("err", str(exc))
+            yield from rgate.reply(slot, response)
+
+    # -- the driver side ------------------------------------------------------
+
+    def _handle_irq(self, payload):
+        """Generator: an RX interrupt — fetch and route the frame."""
+        _kind, name, detail = payload
+        if not detail or detail[0] != "rx":
+            return
+        _tag, offset, length = detail
+        frame = yield from self.buffer.read(offset, length)
+        src_port, dst_port = _HEADER.unpack_from(frame)
+        socket = self.ports.get(dst_port)
+        if socket is None:
+            self.frames_dropped += 1
+            return
+        socket.inbox.append((src_port, bytes(frame[_HEADER.size :])))
+        self.frames_routed += 1
+
+    # -- session operations ------------------------------------------------------
+
+    def _op_bind(self, socket: _Socket, port: int):
+        if not (0 < port < 65536):
+            raise ValueError(f"bad port {port}")
+        if port in self.ports:
+            raise ValueError(f"port {port} already bound")
+        if socket.port is not None:
+            del self.ports[socket.port]
+        socket.port = port
+        self.ports[port] = socket
+        return ()
+        yield  # pragma: no cover
+
+    def _op_send_to(self, socket: _Socket, dst_port: int, payload: bytes):
+        payload = bytes(payload)
+        if len(payload) > MAX_PAYLOAD:
+            raise ValueError(f"datagram of {len(payload)}B too large")
+        frame = _HEADER.pack(socket.port or 0, dst_port) + payload
+        yield from self.buffer.write(TX_SLOT, frame)
+        yield from self.nic_cmd.send(("tx", TX_SLOT, len(frame)), 32)
+        return len(payload)
+
+    def _op_recv(self, socket: _Socket):
+        """Poll for the next datagram: (src_port, payload) or None."""
+        if socket.inbox:
+            return socket.inbox.pop(0)
+        return None
+        yield  # pragma: no cover
+
+
+def start_network(system: "M3System", service_names=("net", "net2"),
+                  wire_latency: int = 200):
+    """Boot two NICs on a wire and a netserv instance for each.
+
+    Device wiring (DMA windows, command channels, interrupt routes) is
+    the kernel's boot-time job, exactly like a device tree; the
+    services then drive their NICs with ordinary gates.
+    Returns the two :class:`NetServ` instances.
+    """
+    wire = Wire(system.sim, latency_cycles=wire_latency)
+    nics = []
+    servers = []
+    base_node = len(system.platform.pes)
+    for index, name in enumerate(service_names):
+        nic = NetworkDevice(
+            system.sim, system.platform.network, base_node + index,
+            name=f"nic{index}", rx_base=RX_BASE,
+        )
+        nics.append(nic)
+        server = NetServ(service_name=name)
+        server.ready = system.sim.event(f"{name}.ready")
+        vpe = system.spawn(server.main, name=name)
+        system.sim.run(until_event=server.ready)
+        server.vpe = vpe
+        servers.append(server)
+    wire.connect(nics[0], nics[1])
+
+    def wire_devices():
+        from repro.dtu.registers import EndpointRegisters
+
+        kernel = system.kernel
+        for nic, server in zip(nics, servers):
+            buffer_cap = server.vpe.captable.get(server.buffer.selector)
+            region = buffer_cap.obj
+            # DMA window onto the service's buffer
+            yield from kernel.dtu.configure_remote(
+                nic.node, "configure", DMA_MEM_EP,
+                EndpointRegisters.memory_config(
+                    region.node, region.address, region.size, MemoryPerm.RW,
+                ),
+            )
+            # command channel: give the service a send gate to the NIC
+            yield from kernel.dtu.configure_remote(
+                nic.node, "configure", CMD_RECV_EP,
+                EndpointRegisters.receive_config(0, slot_size=64,
+                                                 slot_count=8),
+            )
+            nic_port = types.SimpleNamespace(node=nic.node)
+            nic_rgate = RecvGateObject(slot_size=64, slot_count=8,
+                                       owner=nic_port,
+                                       ep_index=CMD_RECV_EP)
+            command_gate = SendGateObject(target=nic_rgate, label=0,
+                                          credits=8)
+            selector = server.vpe.captable.insert(
+                Capability(CapKind.SEND, command_gate)
+            )
+            # interrupt route: NIC -> the service's receive gate
+            service = kernel.services[server.service_name]
+            yield from kernel.dtu.configure_remote(
+                nic.node, "configure", IRQ_SEND_EP,
+                EndpointRegisters.send_config(
+                    target_node=service.rgate.node,
+                    target_ep=service.rgate.ep_index,
+                    label=IRQ_LABEL, credits=8,
+                    msg_size=service.rgate.slot_size,
+                ),
+            )
+            nic.start()
+            server.nic_cmd = SendGate(server.env, selector)
+
+    system.sim.run_process(wire_devices(), "wire-network")
+    return servers

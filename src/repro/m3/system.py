@@ -1,0 +1,220 @@
+"""M3System: boots the OS on a platform and hosts test/benchmark runs.
+
+Responsibilities:
+
+- construct the kernel on its dedicated PE and run its boot sequence
+  (endpoint setup + downgrading all application DTUs),
+- provide the kernel's software loader hook (the simulation stand-in
+  for "the kernel writes the PE's boot registers via the DTU"),
+- start OS services (m3fs) and initial applications,
+- map program names to entry functions for ``exec``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.hw.platform import Platform
+from repro.m3.kernel.kernel import Kernel
+from repro.m3.kernel.vpe import VpeObject
+from repro.m3.lib.env import Env
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.m3.services.m3fs.server import M3fsServer
+
+
+class M3System:
+    """The booted OS: kernel + services on a :class:`Platform`."""
+
+    def __init__(self, platform: Platform | None = None, pe_count: int = 8,
+                 kernel_node: int = 0, multiplexing: bool = False,
+                 auto_rebalance: bool = False, **platform_kwargs):
+        self.platform = platform or Platform.build(pe_count, **platform_kwargs)
+        self.sim = self.platform.sim
+        self.kernel = Kernel(self.platform, node=kernel_node)
+        self.kernel.start_software = self._start_software
+        self.kernel.multiplexing = multiplexing
+        self.kernel.auto_rebalance = auto_rebalance
+        #: program name -> entry generator function, for ``VPE.exec``.
+        self.programs: dict[str, typing.Callable] = {}
+        self.fs_server: "M3fsServer | None" = None
+        #: all filesystem service instances by service name.
+        self.fs_servers: dict[str, "M3fsServer"] = {}
+        self._kernel_process = None
+        #: (vpe, process) pairs for crash reporting.
+        self._app_processes: list = []
+        #: serial console: (cycle, vpe_id, line) records.
+        self.serial_log: list = []
+
+    # -- boot -----------------------------------------------------------------
+
+    def boot(self, with_fs: bool = True, fs_kwargs: dict | None = None) -> "M3System":
+        """Run the kernel boot sequence and start services; returns self."""
+        self.sim.run_process(self.kernel.boot(), "kernel.boot")
+        self._kernel_process = self.kernel.pe.run(self.kernel.run(), "kernel")
+        if with_fs:
+            self.start_m3fs(**(fs_kwargs or {}))
+        return self
+
+    def start_m3fs(self, name: str = "m3fs", **fs_kwargs) -> "M3fsServer":
+        """Start an m3fs service instance and wait until it is registered.
+
+        Multiple instances (the paper's Section 7 future work) are
+        supported by giving each a distinct service name; clients pick
+        theirs via ``M3fsClient.connect(env, service=name)``.
+        """
+        from repro.m3.services.m3fs.server import M3fsServer
+
+        server = M3fsServer(service_name=name, **fs_kwargs)
+        server.ready = self.sim.event(f"{name}.ready")
+        vpe = self.spawn(server.main, name=name)
+        self.sim.run(until_event=server.ready)
+        if not server.ready.triggered:
+            raise RuntimeError(f"{name} failed to start")
+        server.vpe = vpe
+        self.fs_servers[name] = server
+        if self.fs_server is None:
+            self.fs_server = server
+        return server
+
+    # -- software loading (the kernel's loader hook) -----------------------------
+
+    def _start_software(self, vpe: VpeObject, entry, args: tuple) -> None:
+        if isinstance(entry, tuple) and entry and entry[0] == "program":
+            name = entry[1]
+            try:
+                entry = self.programs[name]
+            except KeyError:
+                raise RuntimeError(f"no program {name!r} registered") from None
+        env = Env(self, vpe.id, vpe.pe)
+        self.kernel.envs[vpe.id] = env
+        process = vpe.pe.run(self._wrap(env, entry, args), name=vpe.name)
+        self._app_processes.append((vpe, process))
+
+    def _wrap(self, env: Env, entry, args: tuple):
+        from repro.sim.events import Interrupt
+
+        def body():
+            try:
+                result = yield from entry(env, *args)
+            except Interrupt:
+                # The kernel reset this PE (VPE capability revoked) —
+                # not a software crash.
+                return None
+            yield from env.exit(result)
+            return result
+
+        return body()
+
+    def register_program(self, name: str, entry) -> None:
+        """Make ``entry`` loadable via ``VPE.exec`` under ``name``."""
+        self.programs[name] = entry
+
+    # -- running applications ---------------------------------------------------------
+
+    def spawn(self, entry, *args, name: str = "app",
+              pe_type: str | None = None) -> VpeObject:
+        """Create a root VPE and start ``entry(env, *args)`` on it.
+
+        Used for boot modules and benchmark top-level applications;
+        applications themselves use :class:`repro.m3.lib.vpe.VPE`.
+        """
+
+        def create():
+            vpe = yield from self.kernel.create_vpe(name, pe_type)
+            self.kernel.start_vpe(vpe, entry, args)
+            return vpe
+
+        return self.sim.run_process(create(), f"spawn.{name}")
+
+    def wait(self, vpe: VpeObject):
+        """Run the simulation until ``vpe`` exits; returns its exit code.
+
+        Raises if the simulation goes idle without the VPE exiting
+        (a deadlock in the simulated software).
+        """
+        from repro.m3.kernel.vpe import VpeState
+
+        if vpe.state == VpeState.DEAD:
+            return vpe.exit_code
+        exit_event = self.sim.event(f"{vpe.name}.exit")
+        vpe.exit_events.append(exit_event)
+        self.sim.run(until_event=exit_event)
+        if vpe.state != VpeState.DEAD:
+            self.raise_crashes()
+            raise RuntimeError(
+                f"simulation went idle but VPE {vpe.name!r} never exited "
+                "(deadlock in simulated software)"
+            )
+        return vpe.exit_code
+
+    def raise_crashes(self) -> None:
+        """Re-raise the first uncaught exception of the kernel or any
+        application VPE."""
+        processes = [p for _v, p in self._app_processes]
+        if self._kernel_process is not None:
+            processes.append(self._kernel_process)
+        for process in processes:
+            done = process.done
+            if done.triggered and not done.ok:
+                raise done.value
+
+    def run_app(self, entry, *args, name: str = "app",
+                pe_type: str | None = None):
+        """Spawn + wait in one call; returns the application's result."""
+        return self.wait(self.spawn(entry, *args, name=name, pe_type=pe_type))
+
+    # -- benchmark support ---------------------------------------------------
+
+    def fs_preload(self, files: dict, extent_blocks: int | None = None,
+                   server=None) -> None:
+        """Populate an m3fs instance with ``files`` (path -> bytes)
+        outside simulated time — the benchmarks run against an
+        already-populated filesystem, exactly like the paper's setups.
+
+        ``extent_blocks`` forces a specific extent granularity, which is
+        how the Figure 4 fragmentation sweep controls blocks-per-extent.
+        """
+        server = server or self.fs_server
+        if server is None:
+            raise RuntimeError("m3fs is not running")
+        fs = server.fs
+        region_cap = server.vpe.captable.get(server.region.selector)
+        base = region_cap.obj.address
+        dram = self.platform.dram.memory
+        for path, content in files.items():
+            directory = ""
+            for part in fs.split(path)[:-1]:
+                directory = f"{directory}/{part}"
+                if not fs.exists(directory):
+                    fs.mkdir(directory)
+            inode = fs.create(path)
+            remaining = len(content)
+            written = 0
+            while remaining > 0:
+                want = extent_blocks or fs.append_blocks
+                extent = fs.append_extent(inode, want)
+                offset, length = fs.extent_region(extent)
+                chunk = content[written : written + length]
+                dram.write(base + offset, chunk)
+                written += len(chunk)
+                remaining -= len(chunk)
+            fs.truncate(inode, len(content))
+
+    def fs_read_back(self, path: str, server=None) -> bytes:
+        """Read a file's content directly out of the DRAM model (for
+        verifying benchmark output without simulated cost)."""
+        server = server or self.fs_server
+        fs = server.fs
+        region_cap = server.vpe.captable.get(server.region.selector)
+        base = region_cap.obj.address
+        dram = self.platform.dram.memory
+        inode = fs.resolve(path)
+        out = bytearray()
+        remaining = inode.size
+        for extent in inode.extents:
+            offset, length = fs.extent_region(extent)
+            take = min(length, remaining)
+            out.extend(dram.read(base + offset, take))
+            remaining -= take
+        return bytes(out)

@@ -1,0 +1,56 @@
+"""Directed NoC links as serially-reserved resources."""
+
+from __future__ import annotations
+
+import math
+
+
+class Link:
+    """One directed channel between adjacent routers.
+
+    A packet occupies the link for its serialisation time
+    (``ceil(bytes / bytes_per_cycle)``).  Reservations are granted in
+    request order: a link keeps the cycle at which it next becomes free
+    and pushes later packets behind it, which models FIFO queueing
+    contention without simulating individual flits.
+    """
+
+    __slots__ = ("source", "destination", "bytes_per_cycle", "next_free", "busy_cycles", "packets")
+
+    def __init__(self, source: int, destination: int, bytes_per_cycle: int):
+        if bytes_per_cycle < 1:
+            raise ValueError("link bandwidth must be at least 1 byte/cycle")
+        self.source = source
+        self.destination = destination
+        self.bytes_per_cycle = bytes_per_cycle
+        self.next_free = 0
+        self.busy_cycles = 0
+        self.packets = 0
+
+    def serialization_cycles(self, nbytes: int) -> int:
+        """Cycles to push ``nbytes`` through this link."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        return max(1, math.ceil(nbytes / self.bytes_per_cycle))
+
+    def reserve(self, earliest: int, nbytes: int) -> tuple[int, int]:
+        """Reserve the link for ``nbytes`` no earlier than ``earliest``.
+
+        Returns ``(start, end)`` of the granted occupancy window.
+        """
+        duration = self.serialization_cycles(nbytes)
+        start = max(earliest, self.next_free)
+        end = start + duration
+        self.next_free = end
+        self.busy_cycles += duration
+        self.packets += 1
+        return start, end
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of ``elapsed`` cycles this link was occupied."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.source}->{self.destination} free@{self.next_free}>"

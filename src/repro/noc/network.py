@@ -1,0 +1,139 @@
+"""The network facade: packet delivery with wormhole-style timing.
+
+A packet's head flit advances one router per :data:`~repro.params`
+hop latency; the body streams behind it at link bandwidth.  Each link
+on the XY path is reserved for the packet's serialisation time, so two
+packets crossing the same link queue behind each other.  Delivery
+completes when the tail clears the last link.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro import params
+from repro.noc.link import Link
+from repro.noc.packet import Packet
+from repro.noc.routing import XYRouter
+from repro.noc.topology import MeshTopology
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim import Simulator
+
+#: Wire overhead per packet: routing/flow-control header flits.
+PACKET_HEADER_BYTES = 16
+
+DeliveryHandler = typing.Callable[[Packet], None]
+
+
+class Network:
+    """A mesh NoC that delivers packets to per-node handlers."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        topology: MeshTopology,
+        hop_cycles: int = params.NOC_HOP_CYCLES,
+        bytes_per_cycle: int = params.NOC_BYTES_PER_CYCLE,
+        router: XYRouter | None = None,
+    ):
+        if hop_cycles < 0:
+            raise ValueError("hop latency cannot be negative")
+        self.sim = sim
+        self.topology = topology
+        self.router = router or XYRouter(topology)
+        self.hop_cycles = hop_cycles
+        self.bytes_per_cycle = bytes_per_cycle
+        self._links: dict[tuple[int, int], Link] = {
+            (a, b): Link(a, b, bytes_per_cycle) for a, b in topology.links()
+        }
+        self._handlers: dict[int, DeliveryHandler] = {}
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        #: optional tracer (see :meth:`enable_tracing`).
+        self.tracer = None
+
+    def enable_tracing(self) -> "object":
+        """Record every packet injection; returns the Tracer."""
+        from repro.sim.tracing import Tracer
+
+        self.tracer = Tracer(self.sim, enabled=True)
+        return self.tracer
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach(self, node: int, handler: DeliveryHandler) -> None:
+        """Register the hardware model that receives packets at ``node``."""
+        self.topology._check(node)
+        if node in self._handlers:
+            raise ValueError(f"node {node} already has an attached handler")
+        self._handlers[node] = handler
+
+    def link(self, source: int, destination: int) -> Link:
+        """The directed link between two adjacent nodes (for stats/tests)."""
+        try:
+            return self._links[(source, destination)]
+        except KeyError:
+            raise ValueError(f"no link {source}->{destination}") from None
+
+    # -- timing model ----------------------------------------------------------
+
+    def delivery_time(self, packet: Packet) -> int:
+        """Reserve the path now; return the absolute completion cycle."""
+        wire_bytes = packet.size_bytes + PACKET_HEADER_BYTES
+        now = self.sim.now
+        if packet.source == packet.destination:
+            # Local loopback through the node's own router.
+            duration = self.hop_cycles + Link(
+                packet.source, packet.destination, self.bytes_per_cycle
+            ).serialization_cycles(wire_bytes)
+            return now + duration
+        head_arrival = now
+        completion = now
+        for hop in self.router.links_on_path(packet.source, packet.destination):
+            head_arrival += self.hop_cycles
+            start, end = self._links[hop].reserve(head_arrival, wire_bytes)
+            head_arrival = start  # downstream hops stall behind contention
+            completion = end
+        return completion
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(self, packet: Packet) -> int:
+        """Inject ``packet``; schedule delivery; return the completion cycle."""
+        completion = self.delivery_time(packet)
+        self.packets_sent += 1
+        self.bytes_sent += packet.size_bytes
+        if self.tracer is not None:
+            self.tracer.log(
+                packet.kind,
+                f"{packet.source}->{packet.destination} "
+                f"{packet.size_bytes}B eta={completion}",
+            )
+        handler = self._handlers.get(packet.destination)
+        if handler is None:
+            raise RuntimeError(
+                f"packet to node {packet.destination} but nothing is attached there"
+            )
+        self.sim.schedule(completion - self.sim.now, handler, packet)
+        return completion
+
+    def transfer(self, packet: Packet, tag: str | None = None):
+        """An event that triggers when ``packet`` has been delivered.
+
+        ``tag`` charges the transfer latency to the time ledger (the
+        paper's "Xfers" category).
+        """
+        completion = self.send(packet)
+        return self.sim.delay(completion - self.sim.now, tag=tag)
+
+    # -- statistics ----------------------------------------------------------------
+
+    def utilization_report(self) -> dict[tuple[int, int], float]:
+        """Per-link utilisation over the elapsed simulation time."""
+        elapsed = self.sim.now
+        return {
+            key: link.utilization(elapsed)
+            for key, link in self._links.items()
+            if link.packets
+        }

@@ -1,0 +1,35 @@
+"""NoC packets."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+_packet_ids = itertools.count()
+
+
+@dataclasses.dataclass
+class Packet:
+    """A unit of NoC traffic.
+
+    ``size_bytes`` drives the timing model (header + payload wire
+    bytes); ``payload`` carries the simulated content (a message object
+    or raw bytes) to the receiving hardware model.
+    """
+
+    source: int
+    destination: int
+    kind: str  # "message" | "mem_read" | "mem_write" | "mem_resp"
+    size_bytes: int
+    payload: object = None
+    packet_id: int = dataclasses.field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError(f"negative packet size: {self.size_bytes}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.packet_id} {self.kind} "
+            f"{self.source}->{self.destination} {self.size_bytes}B>"
+        )

@@ -1,0 +1,115 @@
+"""The simulator core: a cycle clock and an ordered event queue."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.sim.events import Event
+from repro.sim.ledger import TimeLedger
+from repro.sim.process import Process
+
+
+class Simulator:
+    """Cycle-based discrete-event simulator.
+
+    Time is an integer cycle count starting at zero.  Callbacks scheduled
+    for the same cycle run in FIFO order of scheduling, which makes runs
+    fully deterministic.
+    """
+
+    def __init__(self):
+        self.now: int = 0
+        self._queue: list = []
+        self._sequence = itertools.count()
+        self.ledger = TimeLedger()
+        self._processes: list[Process] = []
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, delay: int, callback, argument: object = None) -> None:
+        """Run ``callback(argument)`` after ``delay`` cycles."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._sequence), callback, argument)
+        )
+
+    def call_soon(self, callback, argument: object = None) -> None:
+        """Run ``callback(argument)`` at the current cycle, after the
+        currently-running callbacks."""
+        self.schedule(0, callback, argument)
+
+    # -- primitives for processes ------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name)
+
+    def delay(self, cycles: int, tag: str | None = None) -> Event:
+        """An event that triggers ``cycles`` from now.
+
+        If ``tag`` is given the cycles are charged to the ledger, which is
+        how the evaluation reconstructs App/OS/Xfer breakdowns.
+        """
+        if cycles < 0:
+            raise ValueError(f"negative delay: {cycles}")
+        self.ledger.charge(tag, cycles)
+        done = Event(self, f"delay({cycles})")
+        self.schedule(cycles, done.succeed)
+        return done
+
+    def process(self, generator, name: str = "process") -> Process:
+        """Start ``generator`` as a new simulation process."""
+        proc = Process(self, generator, name)
+        self._processes.append(proc)
+        return proc
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next queued callback; return False if queue empty."""
+        if not self._queue:
+            return False
+        when, _seq, callback, argument = heapq.heappop(self._queue)
+        if when < self.now:  # pragma: no cover - guarded by schedule()
+            raise RuntimeError("time went backwards")
+        self.now = when
+        callback(argument)
+        return True
+
+    def run(self, until: int | None = None, until_event: Event | None = None) -> None:
+        """Run until the queue drains, ``until`` cycles pass, or an event fires.
+
+        ``until`` is an absolute cycle count.  When ``until_event`` is given,
+        execution stops right after the event triggers.
+        """
+        while self._queue:
+            if until_event is not None and until_event.triggered:
+                return
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None and self.now < until:
+            self.now = until
+
+    def run_process(self, generator, name: str = "main", limit: int | None = None):
+        """Start a process, run the simulation to its completion, and
+        return its result (re-raising its failure, if any)."""
+        proc = self.process(generator, name)
+        self.run(until=limit, until_event=proc.done)
+        if not proc.done.triggered:
+            raise RuntimeError(
+                f"process {name!r} did not finish "
+                f"(t={self.now}, queue={'empty' if not self._queue else 'pending'})"
+            )
+        if not proc.done.ok:
+            raise proc.done.value
+        return proc.done.value
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued callbacks (for tests and diagnostics)."""
+        return len(self._queue)

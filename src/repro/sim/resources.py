@@ -1,0 +1,111 @@
+"""Blocking resources built on events: mailboxes, semaphores, signals.
+
+These are convenience synchronisation objects for simulated software.
+They do not model hardware — the DTU has its own ringbuffer/credit
+machinery — but OS services and the Linux baseline use them for
+scheduler queues and producer/consumer hand-off.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class Mailbox:
+    """Unbounded FIFO of items with blocking receive."""
+
+    def __init__(self, sim: "Simulator", name: str = "mailbox"):
+        self.sim = sim
+        self.name = name
+        self._items: collections.deque = collections.deque()
+        self._waiters: collections.deque[Event] = collections.deque()
+
+    def put(self, item: object) -> None:
+        """Deposit an item, waking the oldest waiter if any."""
+        if self._waiters:
+            self._waiters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that yields the next item (immediately if available)."""
+        event = Event(self.sim, f"{self.name}.get")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._waiters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wake-up order."""
+
+    def __init__(self, sim: "Simulator", tokens: int = 0, name: str = "sem"):
+        if tokens < 0:
+            raise ValueError("initial token count must be non-negative")
+        self.sim = sim
+        self.name = name
+        self._tokens = tokens
+        self._waiters: collections.deque[Event] = collections.deque()
+
+    @property
+    def tokens(self) -> int:
+        return self._tokens
+
+    def release(self, count: int = 1) -> None:
+        """Add tokens, waking as many waiters as tokens allow."""
+        if count < 0:
+            raise ValueError("cannot release a negative count")
+        self._tokens += count
+        while self._tokens and self._waiters:
+            self._tokens -= 1
+            self._waiters.popleft().succeed()
+
+    def acquire(self) -> Event:
+        """An event that triggers once a token has been taken."""
+        event = Event(self.sim, f"{self.name}.acquire")
+        if self._tokens:
+            self._tokens -= 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+
+class Signal:
+    """A re-armable condition: waiters block until the next :meth:`fire`.
+
+    Unlike an :class:`Event`, a signal can fire many times; each fire
+    wakes everyone currently waiting.  Used to model "poll the DTU until
+    a message arrives" without busy-looping the simulator.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "signal"):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Event] = []
+
+    def wait(self) -> Event:
+        """An event for the next firing."""
+        event = Event(self.sim, f"{self.name}.wait")
+        self._waiters.append(event)
+        return event
+
+    def fire(self, value: object = None) -> None:
+        """Wake all current waiters with ``value``."""
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed(value)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)

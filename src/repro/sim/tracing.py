@@ -1,0 +1,41 @@
+"""Lightweight execution tracing for debugging and experiment reports."""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class TraceRecord(typing.NamedTuple):
+    time: int
+    category: str
+    text: str
+
+
+class Tracer:
+    """Collects timestamped records; disabled tracers cost one branch."""
+
+    def __init__(self, sim: "Simulator", enabled: bool = False):
+        self.sim = sim
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def log(self, category: str, text: str) -> None:
+        """Record ``text`` under ``category`` at the current cycle."""
+        if self.enabled:
+            self.records.append(TraceRecord(self.sim.now, category, text))
+
+    def filter(self, category: str) -> list[TraceRecord]:
+        """All records of one category."""
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def render(self) -> str:
+        """Human-readable dump of the trace."""
+        return "\n".join(
+            f"[{r.time:>10}] {r.category:<12} {r.text}" for r in self.records
+        )

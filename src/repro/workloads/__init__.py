@@ -1,0 +1,40 @@
+"""Benchmark workloads: the applications of the paper's Section 5.
+
+Each workload exists for both OS stacks:
+
+- **native pairs** (cat+tr, the FFT chain) — "we did that ourselves,
+  using the same code for M3 and Linux, except for programming against
+  libm3" (Section 5.6);
+- **trace replays** (tar, untar, find, sqlite) — the paper recorded
+  BusyBox runs under strace and replayed them; here the traces are
+  synthesised with the paper's stated workload parameters and replayed
+  identically on both models.
+"""
+
+from repro.workloads.data import (
+    deterministic_bytes,
+    find_tree_layout,
+    tar_archive_bytes,
+    tar_file_set,
+)
+from repro.workloads.trace import LinuxReplayer, M3Replayer, TraceOp
+from repro.workloads.tracegen import (
+    make_find_trace,
+    make_sqlite_trace,
+    make_tar_trace,
+    make_untar_trace,
+)
+
+__all__ = [
+    "LinuxReplayer",
+    "M3Replayer",
+    "TraceOp",
+    "deterministic_bytes",
+    "find_tree_layout",
+    "make_find_trace",
+    "make_sqlite_trace",
+    "make_tar_trace",
+    "make_untar_trace",
+    "tar_archive_bytes",
+    "tar_file_set",
+]

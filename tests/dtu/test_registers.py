@@ -1,0 +1,63 @@
+"""Unit tests for endpoint register configuration."""
+
+import pytest
+
+from repro.dtu import EndpointKind, EndpointRegisters, MemoryPerm
+
+
+def test_fresh_endpoint_is_invalid():
+    ep = EndpointRegisters()
+    assert ep.kind == EndpointKind.INVALID
+
+
+def test_send_config_fields():
+    ep = EndpointRegisters.send_config(
+        target_node=3, target_ep=1, label=0x1234, credits=4, msg_size=128
+    )
+    assert ep.kind == EndpointKind.SEND
+    assert (ep.target_node, ep.target_ep) == (3, 1)
+    assert ep.label == 0x1234
+    assert ep.credits == ep.max_credits == 4
+    assert ep.msg_size == 128
+
+
+def test_receive_config_fields():
+    ep = EndpointRegisters.receive_config(buffer_addr=512, slot_size=64, slot_count=8)
+    assert ep.kind == EndpointKind.RECEIVE
+    assert ep.buffer_addr == 512
+    assert (ep.slot_size, ep.slot_count) == (64, 8)
+    assert ep.replies_enabled
+
+
+def test_memory_config_fields():
+    ep = EndpointRegisters.memory_config(7, 0x1000, 4096, MemoryPerm.READ)
+    assert ep.kind == EndpointKind.MEMORY
+    assert (ep.mem_node, ep.mem_addr, ep.mem_size) == (7, 0x1000, 4096)
+    assert ep.mem_perm & MemoryPerm.READ
+    assert not (ep.mem_perm & MemoryPerm.WRITE)
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        EndpointRegisters.send_config(0, 0, 0, credits=-1, msg_size=64)
+    with pytest.raises(ValueError):
+        EndpointRegisters.send_config(0, 0, 0, credits=1, msg_size=0)
+    with pytest.raises(ValueError):
+        EndpointRegisters.receive_config(0, slot_size=0, slot_count=4)
+    with pytest.raises(ValueError):
+        EndpointRegisters.memory_config(0, -4, 16, MemoryPerm.RW)
+    with pytest.raises(ValueError):
+        EndpointRegisters.memory_config(0, 0, 0, MemoryPerm.RW)
+
+
+def test_invalidate_resets_everything():
+    ep = EndpointRegisters.send_config(3, 1, 9, credits=2, msg_size=64)
+    ep.invalidate()
+    assert ep.kind == EndpointKind.INVALID
+    assert ep.credits == 0
+    assert ep.target_node == -1
+
+
+def test_memory_perm_flags():
+    assert MemoryPerm.RW == MemoryPerm.READ | MemoryPerm.WRITE
+    assert not MemoryPerm.NONE & MemoryPerm.READ

@@ -1,0 +1,108 @@
+"""Unit and property tests for the receive ringbuffer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dtu import Message, MessageHeader, RingBuffer
+from repro.dtu.message import HEADER_BYTES
+
+
+def _msg(payload="x", label=0, length=8):
+    return Message(MessageHeader(label=label, length=length), payload)
+
+
+def test_push_and_fetch_in_order():
+    ring = RingBuffer(slot_size=64, slot_count=4)
+    for i in range(3):
+        ring.push(_msg(payload=i, label=i))
+    for expected in range(3):
+        slot, message = ring.fetch()
+        assert message.payload == expected
+        ring.ack(slot)
+
+
+def test_fetch_on_empty_returns_none():
+    ring = RingBuffer(slot_size=64, slot_count=2)
+    assert ring.fetch() is None
+
+
+def test_full_ring_drops():
+    ring = RingBuffer(slot_size=64, slot_count=2)
+    assert ring.push(_msg(0)) is not None
+    assert ring.push(_msg(1)) is not None
+    assert ring.push(_msg(2)) is None
+    assert ring.dropped == 1
+    assert ring.delivered == 2
+
+
+def test_slot_freed_by_ack_is_reusable():
+    ring = RingBuffer(slot_size=64, slot_count=2)
+    slot, _ = (ring.push(_msg(0)), ring.fetch())[1]
+    ring.ack(slot)
+    assert ring.push(_msg(1)) is not None
+    assert ring.push(_msg(2)) is not None  # wrapped around into freed slot
+
+
+def test_unacked_slot_blocks_writer_even_after_fetch():
+    """Fetch advances the read position but the slot stays occupied
+    until ack — a fetched-but-unprocessed message is never overwritten."""
+    ring = RingBuffer(slot_size=64, slot_count=2)
+    ring.push(_msg("a"))
+    ring.push(_msg("b"))
+    ring.fetch()  # read "a" but do not ack
+    assert ring.push(_msg("c")) is None
+
+
+def test_oversized_message_rejected():
+    ring = RingBuffer(slot_size=32, slot_count=2)
+    with pytest.raises(ValueError):
+        ring.push(_msg(length=32))  # 32 + HEADER_BYTES > 32
+
+
+def test_peek_and_double_ack():
+    ring = RingBuffer(slot_size=64, slot_count=2)
+    ring.push(_msg("data"))
+    slot, message = ring.fetch()
+    assert ring.peek(slot) is message
+    ring.ack(slot)
+    with pytest.raises(ValueError):
+        ring.ack(slot)
+    with pytest.raises(ValueError):
+        ring.peek(slot)
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        RingBuffer(slot_size=0, slot_count=4)
+    with pytest.raises(ValueError):
+        RingBuffer(slot_size=64, slot_count=0)
+
+
+@given(st.lists(st.sampled_from(["push", "consume"]), max_size=200),
+       st.integers(min_value=1, max_value=8))
+def test_ringbuffer_behaves_like_bounded_fifo(operations, slots):
+    """Against a reference deque: order preserved, drops exactly when full."""
+    import collections
+
+    ring = RingBuffer(slot_size=64, slot_count=slots)
+    reference = collections.deque()
+    sequence = 0
+    for op in operations:
+        if op == "push":
+            slot = ring.push(_msg(payload=sequence))
+            if len(reference) < slots:
+                assert slot is not None
+                reference.append(sequence)
+            else:
+                assert slot is None
+            sequence += 1
+        else:
+            fetched = ring.fetch()
+            if reference:
+                slot, message = fetched
+                assert message.payload == reference.popleft()
+                ring.ack(slot)
+            else:
+                assert fetched is None
+    assert ring.occupied == len(reference)

@@ -1,0 +1,41 @@
+"""Fast sanity checks of the evaluation harness (full runs live in
+``benchmarks/``)."""
+
+import pytest
+
+from repro import params
+from repro.eval import fig3_micro, tab_arm
+
+
+def test_m3_syscall_near_200_cycles():
+    total, ledger = fig3_micro.m3_syscall_cycles()
+    assert 150 <= total <= 260
+    assert ledger.get("os", 0) >= 150  # the ~170 software cycles
+
+
+def test_lx_syscall_exactly_410_and_320():
+    assert fig3_micro.lx_syscall_cycles()[0] == 410
+    assert fig3_micro.lx_syscall_cycles(costs=params.LINUX_ARM)[0] == 320
+
+
+def test_arm_table_rows():
+    rows = tab_arm.run()
+    assert len(rows) == 3
+    names = [row[0] for row in rows]
+    assert any("syscall" in n for n in names)
+    assert any("create" in n for n in names)
+    assert any("copy" in n for n in names)
+
+
+def test_copy_overhead_near_paper_value():
+    """Section 5.2: ~3.2 M cycles overhead for copying 2 MiB."""
+    overhead = tab_arm.copy_overhead(params.LINUX_XTENSA)
+    assert overhead == pytest.approx(3.2e6, rel=0.15)
+
+
+def test_fig4_read_faster_with_fewer_extents():
+    from repro.eval import fig4_extents
+
+    fragmented = fig4_extents.read_time(16)
+    contiguous = fig4_extents.read_time(2048)
+    assert fragmented > contiguous

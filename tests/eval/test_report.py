@@ -1,0 +1,27 @@
+"""Report rendering and stack extraction."""
+
+from repro.eval.report import render_table, stacks
+
+
+def test_render_table_alignment_and_formatting():
+    table = render_table(
+        "Title", ["name", "value"], [("a", 1234567), ("bb", 8.5)]
+    )
+    lines = table.splitlines()
+    assert lines[0] == "Title"
+    assert lines[1] == "====="
+    assert "1,234,567" in table
+    assert "8.50" in table
+    # all rows share the same width
+    assert len({len(line) for line in lines[2:]}) == 1
+
+
+def test_render_table_empty_rows():
+    table = render_table("T", ["a", "b"], [])
+    assert "a" in table and "b" in table
+
+
+def test_stacks_fold_fft_into_app():
+    app, xfers, os_cycles = stacks({"app": 10, "fft": 5, "xfer": 3, "os": 2})
+    assert (app, xfers, os_cycles) == (15, 3, 2)
+    assert stacks({}) == (0, 0, 0)

@@ -1,0 +1,59 @@
+"""System introspection and NoC tracing."""
+
+from repro.eval import stats
+from repro.m3.lib.file import OpenFlags
+from repro.m3.system import M3System
+
+
+def _busy_system():
+    system = M3System(pe_count=4).boot()
+
+    def app(env):
+        f = yield from env.vfs.open("/s", OpenFlags.W | OpenFlags.CREATE)
+        yield from f.write(b"stats!" * 100)
+        yield from f.close()
+        return ()
+
+    system.run_app(app)
+    return system
+
+
+def test_collect_counts_everything():
+    system = _busy_system()
+    data = stats.collect(system)
+    assert data["cycles"] == system.sim.now > 0
+    assert data["noc"]["packets"] > 10
+    assert data["kernel"]["syscalls"] >= 4
+    assert data["kernel"]["services"] == ["m3fs"]
+    assert data["filesystems"] if "filesystems" in data else True
+    fs = data["filesystems"]["m3fs"]
+    assert fs["requests"] >= 3  # open + append + close at least
+    assert fs["blocks_used"] >= 1
+    kernel_dtu = [d for d in data["dtus"] if d["node"] == 0]
+    assert kernel_dtu and kernel_dtu[0]["privileged"]
+
+
+def test_report_renders_tables():
+    system = _busy_system()
+    text = stats.report(system)
+    assert "System state at cycle" in text
+    assert "DTU traffic" in text
+    assert "Filesystem services" in text
+    assert "m3fs" in text
+
+
+def test_noc_tracing_records_packets():
+    system = M3System(pe_count=3)
+    tracer = system.platform.network.enable_tracing()
+    system.boot(with_fs=False)
+
+    def app(env):
+        yield from env.syscall("noop")
+        return ()
+
+    system.run_app(app)
+    kinds = {record.category for record in tracer.records}
+    assert "message" in kinds  # the syscall message
+    assert "ep_config" in kinds  # boot-time downgrades
+    rendered = tracer.render()
+    assert "->" in rendered

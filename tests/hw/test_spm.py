@@ -1,0 +1,72 @@
+"""Unit and property tests for scratchpad memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw import Scratchpad
+
+
+def test_fresh_memory_is_zeroed():
+    spm = Scratchpad(64)
+    assert spm.read(0, 64) == bytes(64)
+
+
+def test_write_read_roundtrip():
+    spm = Scratchpad(128)
+    spm.write(10, b"hello")
+    assert spm.read(10, 5) == b"hello"
+    assert spm.read(9, 1) == b"\x00"
+
+
+def test_zero_region():
+    spm = Scratchpad(32)
+    spm.write(0, b"\xff" * 32)
+    spm.zero(8, 8)
+    assert spm.read(0, 32) == b"\xff" * 8 + bytes(8) + b"\xff" * 16
+
+
+def test_bounds_enforced():
+    spm = Scratchpad(16)
+    with pytest.raises(ValueError):
+        spm.read(8, 9)
+    with pytest.raises(ValueError):
+        spm.write(-1, b"x")
+    with pytest.raises(ValueError):
+        spm.read(0, -1)
+    with pytest.raises(ValueError):
+        Scratchpad(0)
+
+
+def test_empty_access_at_end_is_legal():
+    spm = Scratchpad(16)
+    assert spm.read(16, 0) == b""
+
+
+@given(st.data())
+def test_disjoint_writes_do_not_interfere(data):
+    spm = Scratchpad(256)
+    offset_a = data.draw(st.integers(min_value=0, max_value=100))
+    bytes_a = data.draw(st.binary(min_size=1, max_size=20))
+    offset_b = data.draw(st.integers(min_value=130, max_value=230))
+    bytes_b = data.draw(st.binary(min_size=1, max_size=20))
+    spm.write(offset_a, bytes_a)
+    spm.write(offset_b, bytes_b)
+    assert spm.read(offset_a, len(bytes_a)) == bytes_a
+    assert spm.read(offset_b, len(bytes_b)) == bytes_b
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=200), st.binary(max_size=55)),
+        max_size=30,
+    )
+)
+def test_memory_matches_reference_model(writes):
+    """The SPM behaves exactly like a plain bytearray."""
+    spm = Scratchpad(256)
+    reference = bytearray(256)
+    for offset, data in writes:
+        spm.write(offset, data)
+        reference[offset : offset + len(data)] = data
+    assert spm.read(0, 256) == bytes(reference)

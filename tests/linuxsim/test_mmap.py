@@ -1,0 +1,98 @@
+"""mmap on the Linux baseline: the configuration the paper measured
+but excluded from Figure 3 because of cache thrashing (Section 5.4)."""
+
+import pytest
+
+from repro.linuxsim.fs import LxFsError
+from repro.linuxsim.machine import (
+    LinuxMachine,
+    O_CREAT,
+    O_RDONLY,
+    O_WRONLY,
+)
+
+
+def _machine_with_file(payload):
+    machine = LinuxMachine()
+    node = machine.fs.create("/src")
+    node.data.extend(payload)
+    return machine
+
+
+def test_mmap_read_roundtrip_and_faults():
+    payload = bytes(range(256)) * 64  # 16 KiB = 4 pages
+    machine = _machine_with_file(payload)
+
+    def program(lx):
+        fd = yield from lx.open("/src", O_RDONLY)
+        mapping = yield from lx.mmap(fd)
+        data = yield from mapping.read(0, len(payload))
+        again = yield from mapping.read(0, 1024)  # already faulted in
+        return data, mapping.faults, again
+
+    data, faults, again = machine.run_program(program)
+    assert data == payload
+    assert faults == 4  # one per page, once
+    assert again == payload[:1024]
+
+
+def test_mmap_write_extends_file():
+    machine = LinuxMachine()
+
+    def program(lx):
+        fd = yield from lx.open("/new", O_WRONLY | O_CREAT)
+        mapping = yield from lx.mmap(fd)
+        yield from mapping.write(100, b"mapped bytes")
+        return bytes(machine.fs.lookup("/new").data[100:112])
+
+    assert machine.run_program(program) == b"mapped bytes"
+
+
+def test_mmap_requires_regular_file():
+    machine = LinuxMachine()
+
+    def program(lx):
+        read_fd, _write_fd = yield from lx.pipe()
+        try:
+            yield from lx.mmap(read_fd)
+        except LxFsError as exc:
+            return str(exc)
+
+    assert "ENODEV" in machine.run_program(program)
+
+
+def test_mmap_copy_slower_than_read_write_copy():
+    """The paper's excluded result: copying via mmap loses to the
+    read()/write() loop because of fault/copy cache thrashing."""
+    payload = b"c" * (256 * 1024)
+
+    def read_write_copy(lx):
+        src = yield from lx.open("/src", O_RDONLY)
+        dst = yield from lx.open("/dst", O_WRONLY | O_CREAT)
+        start = lx.sim.now
+        while True:
+            chunk = yield from lx.read(src, 4096)
+            if not chunk:
+                break
+            yield from lx.write(dst, chunk)
+        return lx.sim.now - start
+
+    def mmap_copy(lx):
+        src = yield from lx.open("/src", O_RDONLY)
+        dst = yield from lx.open("/dst2", O_WRONLY | O_CREAT)
+        start = lx.sim.now
+        src_map = yield from lx.mmap(src)
+        dst_map = yield from lx.mmap(dst)
+        offset = 0
+        while offset < len(payload):
+            data = yield from src_map.read(offset, 4096)
+            yield from dst_map.write(offset, data)
+            offset += 4096
+        return lx.sim.now - start
+
+    machine = _machine_with_file(payload)
+    classic = machine.run_program(read_write_copy)
+    machine2 = _machine_with_file(payload)
+    mapped = machine2.run_program(mmap_copy)
+    assert mapped > 1.25 * classic
+    assert bytes(machine2.fs.lookup("/dst2").data) == payload

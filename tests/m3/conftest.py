@@ -1,0 +1,17 @@
+"""Fixtures for OS-level tests."""
+
+import pytest
+
+from repro.m3.system import M3System
+
+
+@pytest.fixture
+def system():
+    """A booted system without the filesystem service (fast)."""
+    return M3System(pe_count=6).boot(with_fs=False)
+
+
+@pytest.fixture
+def fs_system():
+    """A booted system with m3fs running."""
+    return M3System(pe_count=6).boot(with_fs=True)

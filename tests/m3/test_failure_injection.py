@@ -1,0 +1,119 @@
+"""Failure injection: misbehaving senders, overflow, malformed syscalls."""
+
+import pytest
+
+from repro.dtu.registers import EndpointRegisters
+from repro.m3.kernel import syscalls
+from repro.m3.kernel.kernel import SyscallError
+from repro.m3.lib.gate import RecvGate, SendGate
+
+
+def test_kernel_survives_message_from_unknown_vpe(system):
+    """A syscall whose label matches no VPE is acked and dropped; the
+    kernel keeps serving everyone else."""
+    # Forge it kernel-side: configure a raw send EP with a bogus label.
+    rogue = system.platform.pe(2).dtu
+
+    def forge():
+        yield from system.kernel.dtu.configure_remote(
+            rogue.node, "configure", 5,
+            EndpointRegisters.send_config(
+                target_node=system.kernel.node, target_ep=0,
+                label=9999, credits=2, msg_size=80,
+            ),
+        )
+
+    system.sim.run_process(forge(), "forge")
+    rogue.send(5, ("noop", ()), 16)
+    system.sim.run()
+
+    def app(env):
+        yield from env.syscall(syscalls.NOOP)
+        return "kernel alive"
+
+    assert system.run_app(app) == "kernel alive"
+
+
+def test_kernel_survives_malformed_arguments(system):
+    """Wrong argument counts/types come back as errors, not crashes."""
+
+    def app(env):
+        errors = []
+        for bad_args in (
+            (syscalls.CREATE_VPE,),                 # too few args
+            (syscalls.DELEGATE, "x", "y"),          # wrong types
+            (syscalls.REQUEST_MEM, -5, 2),          # negative size
+            (syscalls.ACTIVATE, 2, 9999),           # unknown selector
+        ):
+            try:
+                yield from env.syscall(*bad_args)
+            except SyscallError:
+                errors.append(bad_args[0])
+        yield from env.syscall(syscalls.NOOP)  # still alive
+        return errors
+
+    errors = system.run_app(app)
+    assert len(errors) == 4
+
+
+def test_ring_overflow_drops_but_system_recovers(system):
+    """A receiver that hands out more credits than slots loses messages
+    (the paper's warning) — but the channel keeps working afterwards."""
+
+    def receiver(env, board):
+        rgate = yield from RecvGate.create(env, slot_size=64, slot_count=2)
+        sgate_sel = yield from env.syscall(
+            syscalls.CREATE_SGATE, rgate.selector, 0, 8  # credits > slots!
+        )
+        board["ready"].succeed((env.vpe_id, sgate_sel))
+        received = []
+        while len(received) < 3:
+            slot, message = yield from rgate.receive()
+            yield env.compute(5_000)  # a slow consumer
+            received.append(message.payload)
+            rgate.ack(slot)
+        return received
+
+    board = {"ready": system.sim.event("ready")}
+    receiver_vpe = system.spawn(receiver, board, name="receiver")
+    system.sim.run()
+    owner_id, sgate_sel = board["ready"].value
+
+    def sender(env):
+        cap = system.kernel.vpes[owner_id].captable.get(sgate_sel)
+        own = system.kernel.vpes[env.vpe_id].captable.insert(cap.derive())
+        gate = SendGate(env, own)
+        # burst of 6: two slots and a slow consumer, so some are
+        # dropped on the floor (8 credits never throttle the burst)
+        for index in range(6):
+            yield from gate.send(("burst", index), 24)
+        yield 30_000  # receiver drains what survived
+        # careful follow-ups arrive fine
+        for index in range(2):
+            yield from gate.send(("careful", index), 24)
+            yield 8_000
+        return ()
+
+    system.run_app(sender, name="sender")
+    received = system.wait(receiver_vpe)
+    dtu = system.platform.pes[receiver_vpe.node].dtu
+    assert dtu.messages_dropped > 0  # the burst overflowed
+    assert len(received) == 3  # yet the channel recovered
+
+
+def test_revoked_session_gate_cuts_service_access(fs_system):
+    """Revoking the session's send capability cuts the client off from
+    m3fs at the hardware level."""
+    from repro.m3.lib.file import OpenFlags
+    from repro.m3.services.m3fs.fs import FsError
+
+    def app(env):
+        yield from env.vfs.stat("/")  # establish the session
+        client = env.vfs.mounts[0][1]
+        yield from env.syscall(syscalls.REVOKE, client.sgate.selector)
+        try:
+            yield from client.stat("/")
+        except Exception as exc:
+            return type(exc).__name__
+
+    assert fs_system.run_app(app) == "NoPermission"

@@ -1,0 +1,206 @@
+"""m3fs persistence: the on-disk image format (Section 4.5.8's claim
+that the layout is "suitable for persistent storage")."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.m3.services.m3fs import image
+from repro.m3.services.m3fs.fs import FsError, M3FS
+from repro.m3.services.m3fs.superblock import SuperBlock
+
+
+def _fs(reserve=image.META_BLOCKS):
+    return M3FS(SuperBlock(total_blocks=512), append_blocks=8,
+                reserve_meta_blocks=reserve)
+
+
+def _populate(fs):
+    fs.mkdir("/etc")
+    fs.mkdir("/etc/init.d")
+    passwd = fs.create("/etc/passwd")
+    fs.append_extent(passwd, 4)
+    fs.truncate(passwd, 3000)
+    fs.link("/etc/passwd", "/etc/shadow")
+    big = fs.create("/big")
+    fs.append_extent(big, 8)
+    fs.append_extent(big, 8)
+    fs.truncate(big, 12 * 1024)
+    return fs
+
+
+def _structure(fs):
+    """Comparable snapshot: paths -> (kind, size, links, extents)."""
+    snapshot = {}
+
+    def walk(prefix, inode):
+        snapshot[prefix or "/"] = (
+            inode.kind, inode.size, inode.links, tuple(inode.extents)
+        )
+        if inode.is_dir:
+            for name, ino in sorted(inode.entries.items()):
+                walk(f"{prefix}/{name}", fs.inodes[ino])
+
+    walk("", fs.inodes[M3FS.ROOT_INO])
+    return snapshot
+
+
+def test_serialize_roundtrip_preserves_structure():
+    fs = _populate(_fs())
+    restored = image.deserialize(image.serialize(fs))
+    assert _structure(restored) == _structure(fs)
+    assert restored.block_bitmap.used == fs.block_bitmap.used
+    assert restored.inode_bitmap.used == fs.inode_bitmap.used
+    assert restored.append_blocks == fs.append_blocks
+    assert restored.reserved_meta_blocks == fs.reserved_meta_blocks
+
+
+def test_restored_fs_is_fully_usable():
+    fs = _populate(_fs())
+    restored = image.deserialize(image.serialize(fs))
+    # allocation continues without clobbering existing blocks
+    inode = restored.create("/post-restore")
+    extent = restored.append_extent(inode, 4)
+    for other in restored.inodes.values():
+        if other is inode:
+            continue
+        for existing in other.extents:
+            overlap = not (
+                extent.start_block + extent.block_count
+                <= existing.start_block
+                or existing.start_block + existing.block_count
+                <= extent.start_block
+            )
+            assert not overlap
+    restored.unlink("/etc/shadow")
+    assert restored.stat("/etc/passwd")[2] == 1
+
+
+def test_region_save_and_load():
+    region = bytearray(512 * 1024)
+
+    def region_write(offset, data):
+        region[offset : offset + len(data)] = data
+
+    def region_read(offset, count):
+        return bytes(region[offset : offset + count])
+
+    fs = _populate(_fs())
+    size = image.save_to_region(fs, region_write)
+    assert 0 < size <= image.META_BLOCKS * fs.sb.block_size
+    restored = image.load_from_region(region_read, fs.sb.block_size)
+    assert _structure(restored) == _structure(fs)
+
+
+def test_data_blocks_never_land_in_metadata_area():
+    fs = _fs()
+    inode = fs.create("/f")
+    extent = fs.append_extent(inode, 16)
+    assert extent.start_block >= image.META_BLOCKS
+
+
+def test_bad_images_rejected():
+    with pytest.raises(FsError, match="magic"):
+        image.deserialize(b"NOTANFS\x00" + bytes(64))
+    fs = _fs()
+    good = bytearray(image.serialize(fs))
+    good[8:16] = (99).to_bytes(8, "little")  # version
+    with pytest.raises(FsError, match="version"):
+        image.deserialize(bytes(good))
+
+
+def test_double_claimed_block_detected():
+    fs = _fs()
+    a = fs.create("/a")
+    fs.append_extent(a, 4)
+    data = bytearray(image.serialize(fs))
+    # craft a second inode claiming the same blocks by duplicating the
+    # image's inode section is fiddly; instead corrupt via the public
+    # API: two inodes sharing an extent
+    from repro.m3.services.m3fs.extents import Extent
+
+    b = fs.create("/b")
+    b.extents.append(Extent(a.extents[0].start_block, 2))
+    with pytest.raises(FsError, match="claimed twice"):
+        image.deserialize(image.serialize(fs))
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["create", "mkdir", "append", "truncate",
+                             "unlink", "link"]),
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=1, max_value=12),
+        ),
+        max_size=30,
+    )
+)
+def test_roundtrip_after_arbitrary_operations(operations):
+    fs = _fs()
+    files = []
+    for op, index, amount in operations:
+        try:
+            if op == "create":
+                files.append(f"/f{len(files)}")
+                fs.create(files[-1])
+            elif op == "mkdir":
+                fs.mkdir(f"/d{index}")
+            elif op == "append" and files:
+                fs.append_extent(fs.resolve(files[index % len(files)]),
+                                 amount)
+            elif op == "truncate" and files:
+                inode = fs.resolve(files[index % len(files)])
+                fs.truncate(inode, min(amount * 512, inode.size +
+                                       sum(e.block_count for e in
+                                           inode.extents) * 512))
+            elif op == "unlink" and files:
+                fs.unlink(files.pop(index % len(files)))
+            elif op == "link" and files:
+                fs.link(files[index % len(files)], f"/l{index}{amount}")
+        except FsError:
+            pass  # some random ops are invalid; fine
+    restored = image.deserialize(image.serialize(fs))
+    assert _structure(restored) == _structure(fs)
+    assert restored.block_bitmap.used == fs.block_bitmap.used
+
+
+def test_end_to_end_persistence_through_the_service():
+    """Apps write files; the service syncs; the *DRAM bytes alone*
+    (metadata image + data blocks) reconstruct the filesystem."""
+    from repro.m3.lib.file import OpenFlags
+    from repro.m3.system import M3System
+
+    system = M3System(pe_count=5).boot(
+        fs_kwargs={"persist": True, "append_blocks": 8}
+    )
+
+    def app(env):
+        yield from env.vfs.mkdir("/var")
+        f = yield from env.vfs.open("/var/log",
+                                    OpenFlags.W | OpenFlags.CREATE)
+        yield from f.write(b"persistent line one\n" * 50)
+        yield from f.close()
+        client = env.vfs.mounts[0][1]
+        size = yield from client.request("sync")
+        return size
+
+    image_size = system.run_app(app)
+    assert image_size > 0
+
+    # White-box: read the region straight out of the DRAM model.
+    server = system.fs_server
+    region_cap = server.vpe.captable.get(server.region.selector)
+    base = region_cap.obj.address
+    dram = system.platform.dram.memory
+
+    restored = image.load_from_region(
+        lambda offset, count: dram.read(base + offset, count),
+        server.fs.sb.block_size,
+    )
+    assert restored.stat("/var/log")[1] == 20 * 50
+    inode = restored.resolve("/var/log")
+    offset, _length = restored.extent_region(inode.extents[0])
+    assert dram.read(base + offset, 19) == b"persistent line one"

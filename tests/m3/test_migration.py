@@ -1,0 +1,144 @@
+"""VPE migration (Section 4.3: "we plan to allow the migration of
+VPEs ... because it requires the same mechanism" as context switching)."""
+
+import pytest
+
+from repro.m3.kernel import syscalls
+from repro.m3.kernel.kernel import SyscallError
+from repro.m3.lib.vpe import VPE
+from repro.m3.system import M3System
+
+
+def _hog(env, cycles):
+    yield env.compute(cycles)
+    return "hog-done"
+
+
+def test_explicit_migration_to_freed_pe():
+    """A queued VPE is moved to a PE that became free; it runs there
+    without the parent ever yielding its own PE."""
+    system = M3System(pe_count=3, multiplexing=True).boot(with_fs=False)
+    hog_vpe = system.spawn(_hog, 10_000, name="hog")  # occupies PE 2
+
+    def child(env):
+        yield env.compute(100)
+        return env.pe.node
+
+    def parent(env):
+        vpe = yield from VPE.create(env, "child")  # queued: no free PE
+        yield from vpe.run(child)
+        yield env.compute(50_000)  # outlive the hog, never yield
+        new_node = yield from env.syscall(syscalls.VPE_MIGRATE, vpe.selector)
+        ran_on = yield from vpe.wait()
+        return new_node, ran_on
+
+    new_node, ran_on = system.run_app(parent, name="parent")
+    assert new_node == ran_on == hog_vpe.pe.node
+    assert system.wait(hog_vpe) == "hog-done"
+
+
+def test_migrating_running_vpe_fails():
+    system = M3System(pe_count=3, multiplexing=True).boot(with_fs=False)
+
+    def child(env):
+        yield env.compute(100_000)
+        return ()
+
+    def parent(env):
+        vpe = yield from VPE.create(env, "child")  # dedicated PE (free)
+        yield from vpe.run(child)
+        try:
+            yield from env.syscall(syscalls.VPE_MIGRATE, vpe.selector)
+        except SyscallError as exc:
+            return str(exc)
+
+    assert "running" in system.run_app(parent)
+
+
+def test_migration_fails_without_free_pe():
+    system = M3System(pe_count=2, multiplexing=True).boot(with_fs=False)
+
+    def child(env):
+        yield env.compute(100)
+        return ()
+
+    def parent(env):
+        vpe = yield from VPE.create(env, "child")  # queued on our PE
+        yield from vpe.run(child)
+        try:
+            yield from env.syscall(syscalls.VPE_MIGRATE, vpe.selector)
+        except SyscallError as exc:
+            return str(exc)
+
+    assert "no free PE" in system.run_app(parent)
+
+
+def test_auto_rebalance_spreads_queued_vpes():
+    """Load balancing (Section 1.3): when the hog's PE frees up, the
+    queued sibling migrates there and both children run in parallel."""
+    system = M3System(
+        pe_count=3, multiplexing=True, auto_rebalance=True
+    ).boot(with_fs=False)
+    system.spawn(_hog, 5_000, name="hog")  # PE 2, exits quickly
+
+    def child(env, tag):
+        yield env.compute(30_000)
+        return (tag, env.pe.node)
+
+    def parent(env):
+        first = yield from VPE.create(env, "a")
+        yield from first.run(child, "a")
+        second = yield from VPE.create(env, "b")
+        yield from second.run(child, "b")
+        result_a = yield from first.wait_yield()
+        result_b = yield from second.wait_yield()
+        return result_a, result_b
+
+    (tag_a, node_a), (tag_b, node_b) = system.run_app(parent, name="parent")
+    assert {tag_a, tag_b} == {"a", "b"}
+    assert node_a != node_b  # the rebalancer spread them across PEs
+
+
+def test_migrated_vpe_keeps_its_saved_state():
+    """A *suspended* (yielded) VPE migrates and resumes with its SPM
+    image intact on the new PE."""
+    system = M3System(pe_count=4, multiplexing=True).boot(with_fs=False)
+    marker = b"state that must migrate"
+
+    def inner(env):
+        yield env.compute(60_000)
+        return ()
+
+    def yielder(env):
+        address = env.alloc_buffer(len(marker))
+        env.pe.spm_data.write(address, marker)
+        child = yield from VPE.create(env, "inner")
+        yield from child.run(inner)
+        yield from child.wait_yield()
+        return env.pe.node, env.pe.spm_data.read(address, len(marker))
+
+    # Fill all PEs so the yielder's child lands on the yielder's PE.
+    hog_a = system.spawn(_hog, 10**9, name="hog-a")
+    hog_b = system.spawn(_hog, 10**9, name="hog-b")
+    yielder_vpe = system.spawn(yielder, name="yielder")
+    system.sim.run(until=30_000)  # past the switch-out
+    # While the yielder is switched out, free a PE and migrate it there.
+    kernel = system.kernel
+    target_node_holder = {}
+
+    def boot_migration():
+        victim = kernel.vpes[yielder_vpe.id]
+        assert not victim.resident
+        hog_a_proc = [p for v, p in system._app_processes if v.name == "hog-a"]
+        hog_a_proc[0].interrupt("make-room")
+        kernel.vpe_exited(kernel.vpes[hog_a.id], None)
+        target = system.platform.find_free_pe()
+        kernel.ctxsw.migrate(victim, target)
+        target_node_holder["node"] = target.node
+        return ()
+        yield  # pragma: no cover
+
+    system.sim.run_process(boot_migration(), "migrate")
+    final_node, data = system.wait(yielder_vpe)
+    assert final_node == target_node_holder["node"]
+    assert data == marker

@@ -1,0 +1,142 @@
+"""The pipe filesystem: pipes behind the VFS (Section 4.5.8)."""
+
+import pytest
+
+from repro.m3.lib.file import OpenFlags
+from repro.m3.lib.pipefs import PipeFs
+from repro.m3.services.m3fs.fs import FsError
+
+
+def test_vfs_transparency_between_pipe_and_file(fs_system):
+    """The same copy loop works on a pipe and on an m3fs file."""
+
+    def copy(env, source, sink):
+        while True:
+            chunk = yield from source.read(512)
+            if not chunk:
+                break
+            yield from sink.write(chunk)
+
+    def app(env):
+        pipefs = PipeFs(env)
+        env.vfs.mount("/pipes", pipefs)
+        # producer half: file -> pipe; consumer half: pipe -> file.
+        f = yield from env.vfs.open("/in.dat", OpenFlags.W | OpenFlags.CREATE)
+        yield from f.write(b"pipefs payload " * 40)
+        yield from f.close()
+
+        writer = yield from env.vfs.open("/pipes/stream", OpenFlags.W)
+        reader = yield from env.vfs.open("/pipes/stream", OpenFlags.R)
+        source = yield from env.vfs.open("/in.dat", OpenFlags.R)
+        yield from copy(env, source, writer)
+        yield from source.close()
+        yield from writer.close()
+        sink = yield from env.vfs.open("/out.dat",
+                                       OpenFlags.W | OpenFlags.CREATE)
+        yield from copy(env, reader, sink)
+        yield from sink.close()
+        out = yield from env.vfs.open("/out.dat", OpenFlags.R)
+        data = yield from out.read(10_000)
+        yield from out.close()
+        return data
+
+    assert fs_system.run_app(app) == b"pipefs payload " * 40
+
+
+def test_pipe_end_exclusivity(system):
+    def app(env):
+        pipefs = PipeFs(env)
+        env.vfs.mount("/p", pipefs)
+        yield from env.vfs.open("/p/x", OpenFlags.W)
+        try:
+            yield from env.vfs.open("/p/x", OpenFlags.W)
+        except FsError as exc:
+            return str(exc)
+
+    assert "already has a writer" in system.run_app(app)
+
+
+def test_pipe_requires_single_direction(system):
+    def app(env):
+        pipefs = PipeFs(env)
+        env.vfs.mount("/p", pipefs)
+        try:
+            yield from env.vfs.open("/p/x", OpenFlags.RW)
+        except FsError as exc:
+            return str(exc)
+
+    assert "either to read or to write" in system.run_app(app)
+
+
+def test_pipe_channels_reject_wrong_direction_and_seek(system):
+    def app(env):
+        pipefs = PipeFs(env)
+        env.vfs.mount("/p", pipefs)
+        writer = yield from env.vfs.open("/p/x", OpenFlags.W)
+        reader = yield from env.vfs.open("/p/x", OpenFlags.R)
+        errors = []
+        try:
+            yield from writer.read(1)
+        except FsError as exc:
+            errors.append("read-on-writer")
+        try:
+            yield from reader.write(b"x")
+        except FsError as exc:
+            errors.append("write-on-reader")
+        try:
+            yield from reader.seek(0)
+        except FsError:
+            errors.append("seek")
+        return errors
+
+    assert system.run_app(app) == ["read-on-writer", "write-on-reader", "seek"]
+
+
+def test_pipefs_namespace_operations(system):
+    def app(env):
+        pipefs = PipeFs(env)
+        env.vfs.mount("/p", pipefs)
+        yield from env.vfs.open("/p/a", OpenFlags.W)
+        yield from env.vfs.open("/p/b", OpenFlags.W)
+        names = yield from env.vfs.readdir("/p")
+        stat = yield from env.vfs.stat("/p/a")
+        yield from env.vfs.unlink("/p/b")
+        after = yield from env.vfs.readdir("/p")
+        return names, stat, after
+
+    names, stat, after = system.run_app(app)
+    assert names == ["a", "b"]
+    assert stat[0] == "pipe"
+    assert after == ["a"]
+
+
+def test_multiple_m3fs_instances():
+    """Section 7 future work: several service instances, distinct
+    namespaces, mounted side by side."""
+    from repro.m3.lib.m3fs_client import M3fsClient
+    from repro.m3.system import M3System
+
+    system = M3System(pe_count=6).boot()  # default instance "m3fs"
+    system.start_m3fs(name="m3fs2")
+    assert set(system.fs_servers) == {"m3fs", "m3fs2"}
+
+    def app(env):
+        second = yield from M3fsClient.connect(env, service="m3fs2")
+        env.vfs.mount("/two", second)
+        f = yield from env.vfs.open("/one.txt", OpenFlags.W | OpenFlags.CREATE)
+        yield from f.write(b"first instance")
+        yield from f.close()
+        g = yield from env.vfs.open("/two/two.txt",
+                                    OpenFlags.W | OpenFlags.CREATE)
+        yield from g.write(b"second instance")
+        yield from g.close()
+        return ()
+
+    system.run_app(app)
+    assert system.fs_servers["m3fs"].fs.exists("/one.txt")
+    assert not system.fs_servers["m3fs"].fs.exists("/two.txt")
+    assert system.fs_servers["m3fs2"].fs.exists("/two.txt")
+    assert not system.fs_servers["m3fs2"].fs.exists("/one.txt")
+    assert system.fs_read_back(
+        "/two.txt", server=system.fs_servers["m3fs2"]
+    ) == b"second instance"

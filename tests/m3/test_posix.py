@@ -1,0 +1,152 @@
+"""The POSIX emulation layer (Section 7 future work, implemented)."""
+
+import pytest
+
+from repro.m3.lib.pipe import PipeWriter
+from repro.m3.lib.posix import (
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    SEEK_END,
+    SEEK_SET,
+    Posix,
+)
+from repro.m3.services.m3fs.fs import FsError
+
+
+def test_classic_file_lifecycle(fs_system):
+    def app(env):
+        posix = Posix(env)
+        fd = yield from posix.open("/notes.txt", O_WRONLY | O_CREAT)
+        yield from posix.write(fd, b"dear diary, ")
+        yield from posix.write(fd, b"the DTU was fast today")
+        yield from posix.close(fd)
+        fd = yield from posix.open("/notes.txt", O_RDONLY)
+        yield from posix.lseek(fd, 12, SEEK_SET)
+        data = yield from posix.read(fd, 100)
+        yield from posix.lseek(fd, -5, SEEK_END)
+        tail = yield from posix.read(fd, 5)
+        yield from posix.close(fd)
+        st = yield from posix.stat("/notes.txt")
+        return data, tail, st
+
+    data, tail, st = fs_system.run_app(app)
+    assert data == b"the DTU was fast today"
+    assert tail == b"today"
+    assert (st.st_kind, st.st_size, st.st_nlink) == ("file", 34, 1)
+
+
+def test_directory_calls(fs_system):
+    def app(env):
+        posix = Posix(env)
+        yield from posix.mkdir("/home")
+        fd = yield from posix.open("/home/f", O_WRONLY | O_CREAT)
+        yield from posix.close(fd)
+        yield from posix.link("/home/f", "/home/g")
+        names = yield from posix.listdir("/home")
+        yield from posix.unlink("/home/f")
+        after = yield from posix.listdir("/home")
+        return names, after
+
+    assert fs_system.run_app(app) == (["f", "g"], ["g"])
+
+
+def test_bad_fd_and_espipe(fs_system):
+    def app(env):
+        posix = Posix(env)
+        errors = []
+        try:
+            yield from posix.read(42, 1)
+        except FsError:
+            errors.append("ebadf")
+        read_fd, write_fd = yield from posix.pipe()
+        try:
+            yield from posix.lseek(read_fd, 0)
+        except FsError:
+            errors.append("espipe")
+        try:
+            yield from posix.write(read_fd, b"x")
+        except FsError:
+            errors.append("wrong-end")
+        return errors
+
+    assert fs_system.run_app(app) == ["ebadf", "espipe", "wrong-end"]
+
+
+def test_dup_shares_offset(fs_system):
+    def app(env):
+        posix = Posix(env)
+        fd = yield from posix.open("/d", O_RDWR | O_CREAT)
+        yield from posix.write(fd, b"0123456789")
+        dup_fd = posix.dup(fd)
+        yield from posix.lseek(fd, 2, SEEK_SET)
+        return (yield from posix.read(dup_fd, 3))
+
+    assert fs_system.run_app(app) == b"234"  # same open object, same offset
+
+
+def test_pipe_and_spawn_like_a_shell(fs_system):
+    """The full POSIX idiom: pipe(2), spawn a producer with the write
+    end, parent consumes the read end, waitpid."""
+
+    def producer(env, greeting, handoff):
+        writer = yield from PipeWriter.attach(env, *handoff)
+        yield from writer.write(f"{greeting} from the child".encode())
+        yield from writer.close()
+        return 0
+
+    fs_system.register_program("producer", producer)
+
+    def parent(env):
+        posix = Posix(env)
+        # install the producer "binary"
+        fd = yield from posix.open("/producer", O_WRONLY | O_CREAT)
+        yield from posix.write(fd, b"\x7fELF" + bytes(500))
+        yield from posix.close(fd)
+
+        read_fd, write_fd = yield from posix.pipe()
+        child = yield from posix.spawn(
+            "/producer", "hello", pass_fds=(write_fd,)
+        )
+        yield from posix.close(write_fd)  # delegated: a no-op locally
+        data = bytearray()
+        while True:
+            chunk = yield from posix.read(read_fd, 64)
+            if not chunk:
+                break
+            data.extend(chunk)
+        status = yield from posix.waitpid(child)
+        return bytes(data), status
+
+    data, status = fs_system.run_app(parent)
+    assert data == b"hello from the child"
+    assert status == 0
+
+
+def test_passed_write_end_is_unusable_locally(fs_system):
+    def producer(env, handoff):
+        writer = yield from PipeWriter.attach(env, *handoff)
+        yield from writer.close()
+        return 0
+
+    fs_system.register_program("producer2", producer)
+
+    def parent(env):
+        posix = Posix(env)
+        fd = yield from posix.open("/producer2", O_WRONLY | O_CREAT)
+        yield from posix.write(fd, bytes(100))
+        yield from posix.close(fd)
+        read_fd, write_fd = yield from posix.pipe()
+        child = yield from posix.spawn("/producer2", pass_fds=(write_fd,))
+        try:
+            yield from posix.write(write_fd, b"nope")
+        except FsError as exc:
+            result = str(exc)
+        while (yield from posix.read(read_fd, 64)):
+            pass
+        yield from posix.waitpid(child)
+        return result
+
+    assert "passed to a child" in fs_system.run_app(parent)

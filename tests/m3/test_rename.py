@@ -1,0 +1,93 @@
+"""rename across the stack: fs core, service protocol, VFS, baseline."""
+
+import pytest
+
+from repro.linuxsim.fs import LxFsError, TmpFs
+from repro.linuxsim.machine import LinuxMachine, O_CREAT, O_WRONLY
+from repro.m3.lib.file import OpenFlags
+from repro.m3.services.m3fs.fs import FsError, M3FS
+from repro.m3.services.m3fs.superblock import SuperBlock
+
+
+def _fs():
+    return M3FS(SuperBlock(total_blocks=256))
+
+
+def test_m3fs_core_rename_moves_entry():
+    fs = _fs()
+    fs.mkdir("/a")
+    fs.mkdir("/b")
+    inode = fs.create("/a/f")
+    fs.rename("/a/f", "/b/g")
+    assert not fs.exists("/a/f")
+    assert fs.resolve("/b/g") is inode
+
+
+def test_m3fs_core_rename_replaces_target_and_frees_blocks():
+    fs = _fs()
+    fs.create("/keep")
+    victim = fs.create("/victim")
+    fs.append_extent(victim, 4)
+    used = fs.block_bitmap.used
+    fs.rename("/keep", "/victim")
+    assert fs.block_bitmap.used == used - 4
+    assert fs.exists("/victim") and not fs.exists("/keep")
+
+
+def test_m3fs_core_rename_errors():
+    fs = _fs()
+    fs.mkdir("/d")
+    fs.create("/f")
+    with pytest.raises(FsError):
+        fs.rename("/missing", "/x")
+    with pytest.raises(FsError):
+        fs.rename("/f", "/d")  # target is a directory
+    fs.rename("/f", "/f")  # self-rename is a no-op
+    assert fs.exists("/f")
+
+
+def test_rename_through_vfs(fs_system):
+    def app(env):
+        f = yield from env.vfs.open("/old", OpenFlags.W | OpenFlags.CREATE)
+        yield from f.write(b"renamed content")
+        yield from f.close()
+        yield from env.vfs.rename("/old", "/new")
+        g = yield from env.vfs.open("/new", OpenFlags.R)
+        data = yield from g.read(64)
+        yield from g.close()
+        missing = True
+        try:
+            yield from env.vfs.open("/old", OpenFlags.R)
+            missing = False
+        except FsError:
+            pass
+        return data, missing
+
+    data, missing = fs_system.run_app(app)
+    assert data == b"renamed content"
+    assert missing
+
+
+def test_tmpfs_rename():
+    fs = TmpFs()
+    node = fs.create("/x")
+    fs.create("/y")
+    fs.rename("/x", "/y")  # replaces y
+    assert fs.lookup("/y") is node
+    assert not fs.exists("/x")
+    with pytest.raises(LxFsError):
+        fs.rename("/nope", "/z")
+
+
+def test_linux_rename_syscall():
+    machine = LinuxMachine()
+
+    def program(lx):
+        fd = yield from lx.open("/a", O_WRONLY | O_CREAT)
+        yield from lx.write(fd, b"move me")
+        yield from lx.close(fd)
+        yield from lx.rename("/a", "/b")
+        return (yield from lx.stat("/b"))
+
+    assert machine.run_program(program)[1] == 7
+    assert not machine.fs.exists("/a")

@@ -1,0 +1,55 @@
+"""The Serial stream (the paper's VPE::run example prints through it)."""
+
+from repro.m3.lib import serial
+from repro.m3.lib.vpe import VPE
+
+
+def test_paper_lambda_example(system):
+    """The verbatim Section 4.5.5 example: run a lambda capturing
+    arguments on another PE, print the sum over serial, return 0."""
+
+    a, b = 4, 5
+
+    def lambda_body(env, a, b):
+        s = serial.get(env)
+        s << "Sum: " << (a + b) << "\n"
+        return 0
+        yield  # pragma: no cover
+
+    def parent(env):
+        vpe = yield from VPE.create(env, "test")
+        yield from vpe.run(lambda_body, a, b)
+        return (yield from vpe.wait())
+
+    assert system.run_app(parent) == 0
+    lines = [line for _t, _vpe, line in system.serial_log]
+    assert lines == ["Sum: 9"]
+
+
+def test_serial_line_buffering(system):
+    def app(env):
+        s = serial.get(env)
+        s << "partial"
+        assert system.serial_log == []  # nothing until newline
+        s << " line\nsecond\n"
+        s << "tail"
+        s.flush()
+        return ()
+        yield  # pragma: no cover
+
+    system.run_app(app)
+    lines = [line for _t, _vpe, line in system.serial_log]
+    assert lines == ["partial line", "second", "tail"]
+
+
+def test_serial_records_vpe_and_time(system):
+    def app(env):
+        yield env.compute(123)
+        serial.get(env) << "hello\n"
+        return env.vpe_id
+
+    vpe_id = system.run_app(app)
+    stamp, writer, line = system.serial_log[0]
+    assert writer == vpe_id
+    assert line == "hello"
+    assert stamp >= 123

@@ -1,0 +1,146 @@
+"""Service and session machinery, plus end-to-end isolation properties."""
+
+import pytest
+
+from repro.dtu import NoPermission
+from repro.dtu.registers import EndpointRegisters
+from repro.m3.kernel import syscalls
+from repro.m3.kernel.kernel import SyscallError
+
+
+def test_open_session_with_unknown_service_fails(system):
+    def app(env):
+        try:
+            yield from env.syscall(syscalls.OPEN_SESSION, "nosuchservice")
+        except SyscallError as exc:
+            return str(exc)
+
+    assert "no service" in system.run_app(app)
+
+
+def test_sessions_are_isolated_per_client(fs_system):
+    """Two clients get distinct session labels; fds do not leak across."""
+    from repro.m3.lib.file import OpenFlags
+    from repro.m3.lib.m3fs_client import M3fsClient
+
+    def client_a(env):
+        client = yield from M3fsClient.connect(env)
+        f = yield from client.open("/a", OpenFlags.W | OpenFlags.CREATE)
+        yield from f.write(b"a data")
+        yield from f.close()
+        return f.fd
+
+    def client_b(env):
+        client = yield from M3fsClient.connect(env)
+        # fd numbering starts fresh: first open gets fd 0 in this session
+        f = yield from client.open("/b", OpenFlags.W | OpenFlags.CREATE)
+        fd = f.fd
+        yield from f.close()
+        return fd
+
+    fd_a = fs_system.run_app(client_a, name="a")
+    fd_b = fs_system.run_app(client_b, name="b")
+    assert fd_a == 0 and fd_b == 0  # per-session descriptor spaces
+
+
+def test_service_registration_is_unique(fs_system):
+    from repro.m3.lib.gate import RecvGate
+
+    def impostor(env):
+        rgate = yield from RecvGate.create(env)
+        try:
+            yield from env.syscall(syscalls.CREATE_SRV, "m3fs", rgate.selector)
+        except SyscallError as exc:
+            return str(exc)
+
+    assert "already registered" in fs_system.run_app(impostor)
+
+
+def test_srv_delegate_requires_service_capability(fs_system):
+    """A regular client cannot use the service-delegation syscall."""
+    from repro.dtu.registers import MemoryPerm
+    from repro.m3.lib.gate import MemGate
+
+    def attacker(env):
+        gate = yield from MemGate.create(env, 4096, MemoryPerm.RW.value)
+        try:
+            yield from env.syscall(
+                syscalls.SRV_DELEGATE, gate.selector, 1, gate.selector,
+                0, 64, MemoryPerm.RW.value,
+            )
+        except SyscallError as exc:
+            return str(exc)
+
+    result = fs_system.run_app(attacker, name="attacker")
+    assert "service" in result or "is mem" in result
+
+
+def test_read_only_open_gets_read_only_extents(fs_system):
+    """m3fs delegates READ-only capabilities for read-only opens; the
+    DTU then denies writes at the hardware level."""
+    from repro.m3.lib.file import OpenFlags
+
+    def app(env):
+        f = yield from env.vfs.open("/ro", OpenFlags.W | OpenFlags.CREATE)
+        yield from f.write(b"protect me")
+        yield from f.close()
+        g = yield from env.vfs.open("/ro", OpenFlags.R)
+        yield from g.read(1)  # pulls the extent capability
+        extent = g._extents[0]
+        try:
+            yield from extent.gate.write(0, b"HACKED")
+        except NoPermission as exc:
+            return str(exc)
+
+    assert "WRITE" in fs_system.run_app(app) or \
+        "perm" in fs_system.run_app(app).lower()
+
+
+def test_application_dtus_are_downgraded_after_boot(system):
+    """NoC-level isolation: after boot, only the kernel PE is privileged."""
+    for pe in system.platform.pes:
+        if pe.node == system.kernel.node:
+            assert pe.dtu.privileged
+        else:
+            assert not pe.dtu.privileged
+
+
+def test_app_cannot_configure_own_endpoints(system):
+    def attacker(env):
+        try:
+            env.dtu.configure_local(
+                "configure", 3,
+                EndpointRegisters.receive_config(0, 64, 4),
+            )
+        except NoPermission as exc:
+            return str(exc)
+        yield 0
+
+    assert "unprivileged" in system.run_app(attacker)
+
+
+def test_app_cannot_reconfigure_other_pes(system):
+    """An application's forged config packet is refused by the target
+    DTU because the source DTU is unprivileged."""
+
+    def attacker(env):
+        victim_node = env.pe.node + 1
+        try:
+            yield from env.dtu.configure_remote(victim_node, "upgrade")
+        except NoPermission as exc:
+            return str(exc)
+
+    result = system.run_app(attacker)
+    assert "not privileged" in result
+
+
+def test_apps_cannot_touch_dram_without_a_capability(system):
+    """No memory endpoint, no DRAM access — the DTU is the only path."""
+
+    def attacker(env):
+        try:
+            yield from env.dtu.read_memory(5, 0, 64)
+        except NoPermission as exc:
+            return str(exc)
+
+    assert "not a memory endpoint" in system.run_app(attacker)

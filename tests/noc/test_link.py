@@ -1,0 +1,72 @@
+"""Unit and property tests for link reservation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc import Link
+
+
+def test_serialization_time():
+    link = Link(0, 1, bytes_per_cycle=8)
+    assert link.serialization_cycles(64) == 8
+    assert link.serialization_cycles(65) == 9
+    assert link.serialization_cycles(0) == 1  # even empty packets take a cycle
+
+
+def test_reservations_queue_fifo():
+    link = Link(0, 1, bytes_per_cycle=8)
+    first = link.reserve(0, 80)  # 10 cycles
+    second = link.reserve(0, 80)
+    assert first == (0, 10)
+    assert second == (10, 20)
+
+
+def test_reservation_respects_earliest():
+    link = Link(0, 1, bytes_per_cycle=8)
+    start, end = link.reserve(100, 8)
+    assert start == 100 and end == 101
+
+
+def test_idle_gap_not_reclaimed():
+    # FIFO model: a late request cannot be scheduled before next_free even
+    # if the link was idle earlier.
+    link = Link(0, 1, bytes_per_cycle=8)
+    link.reserve(50, 8)
+    start, _ = link.reserve(0, 8)
+    assert start == 51
+
+
+def test_utilization():
+    link = Link(0, 1, bytes_per_cycle=8)
+    link.reserve(0, 80)  # busy 10 cycles
+    assert link.utilization(20) == pytest.approx(0.5)
+    assert link.utilization(0) == 0.0
+
+
+def test_invalid_bandwidth_and_size():
+    with pytest.raises(ValueError):
+        Link(0, 1, bytes_per_cycle=0)
+    link = Link(0, 1, bytes_per_cycle=4)
+    with pytest.raises(ValueError):
+        link.serialization_cycles(-1)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=0, max_value=4096),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_reservations_never_overlap(requests):
+    link = Link(0, 1, bytes_per_cycle=8)
+    windows = [link.reserve(earliest, nbytes) for earliest, nbytes in requests]
+    for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+        assert e1 <= s2, "link occupied by two packets at once"
+        assert s1 < e1 and s2 < e2
+    # Busy time equals the sum of window lengths.
+    assert link.busy_cycles == sum(e - s for s, e in windows)

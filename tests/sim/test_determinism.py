@@ -1,0 +1,25 @@
+"""Determinism: identical runs produce identical simulations.
+
+The whole evaluation depends on this — results tables are expected to
+be byte-identical across runs.
+"""
+
+from repro.m3.system import M3System
+from repro.workloads.cat_tr import INPUT_PATH, input_bytes, m3_cat_tr
+
+
+def _run_once():
+    system = M3System(pe_count=6).boot()
+    system.fs_preload({INPUT_PATH: input_bytes()})
+    wall, ledger = system.run_app(m3_cat_tr, name="cat+tr")
+    return wall, tuple(sorted(ledger.items())), system.sim.now
+
+
+def test_full_stack_run_is_deterministic():
+    assert _run_once() == _run_once()
+
+
+def test_linux_run_is_deterministic():
+    from repro.eval.fig3_micro import lx_pipe_cycles
+
+    assert lx_pipe_cycles(False) == lx_pipe_cycles(False)

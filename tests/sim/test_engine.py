@@ -1,0 +1,88 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(30, lambda _: seen.append("c"))
+    sim.schedule(10, lambda _: seen.append("a"))
+    sim.schedule(20, lambda _: seen.append("b"))
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_cycle_callbacks_fifo():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.schedule(7, lambda _, i=i: seen.append(i))
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda _: None)
+    with pytest.raises(ValueError):
+        sim.delay(-5)
+
+
+def test_run_until_stops_clock_at_limit():
+    sim = Simulator()
+    sim.schedule(100, lambda _: None)
+    sim.run(until=40)
+    assert sim.now == 40
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.now == 100
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=55)
+    assert sim.now == 55
+
+
+def test_call_soon_runs_after_current_callbacks():
+    sim = Simulator()
+    seen = []
+
+    def first(_):
+        seen.append("first")
+        sim.call_soon(lambda _: seen.append("soon"))
+
+    sim.schedule(5, first)
+    sim.schedule(5, lambda _: seen.append("second"))
+    sim.run()
+    assert seen == ["first", "second", "soon"]
+
+
+def test_step_returns_false_on_empty_queue():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_delay_charges_ledger_tag():
+    sim = Simulator()
+    sim.delay(25, tag="os")
+    sim.delay(10, tag="os")
+    sim.delay(7, tag="xfer")
+    assert sim.ledger.total("os") == 35
+    assert sim.ledger.total("xfer") == 7
+
+
+def test_delay_without_tag_charges_nothing():
+    sim = Simulator()
+    sim.delay(25)
+    assert sim.ledger.snapshot() == {}

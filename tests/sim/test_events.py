@@ -1,0 +1,76 @@
+"""Unit tests for events."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.events import Event
+
+
+def test_event_starts_pending():
+    sim = Simulator()
+    ev = sim.event("e")
+    assert not ev.triggered
+    assert not ev.ok
+
+
+def test_succeed_carries_value():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(42)
+    assert ev.triggered and ev.ok
+    assert ev.value == 42
+
+
+def test_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError("x"))
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_callbacks_run_via_queue():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    ev.succeed("hello")
+    assert seen == []  # not synchronous
+    sim.run()
+    assert seen == ["hello"]
+
+
+def test_callback_on_already_triggered_event_still_fires():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == [1]
+
+
+def test_discard_callback_prevents_invocation():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+    cb = lambda e: seen.append(e.value)
+    ev.add_callback(cb)
+    ev.discard_callback(cb)
+    ev.succeed(9)
+    sim.run()
+    assert seen == []
+
+
+def test_event_equality_is_identity():
+    sim = Simulator()
+    assert Event(sim) != Event(sim)

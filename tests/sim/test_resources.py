@@ -1,0 +1,146 @@
+"""Unit tests for mailboxes, semaphores and signals."""
+
+import pytest
+
+from repro.sim import Mailbox, Semaphore, Signal, Simulator
+
+
+def test_mailbox_get_before_put_blocks():
+    sim = Simulator()
+    box = Mailbox(sim)
+
+    def consumer():
+        item = yield box.get()
+        return (sim.now, item)
+
+    def producer():
+        yield 20
+        box.put("x")
+
+    sim.process(producer(), "producer")
+    assert sim.run_process(consumer(), "consumer") == (20, "x")
+
+
+def test_mailbox_preserves_fifo_order():
+    sim = Simulator()
+    box = Mailbox(sim)
+    box.put(1)
+    box.put(2)
+    box.put(3)
+
+    def consumer():
+        items = []
+        for _ in range(3):
+            items.append((yield box.get()))
+        return items
+
+    assert sim.run_process(consumer()) == [1, 2, 3]
+    assert len(box) == 0
+
+
+def test_mailbox_multiple_waiters_fifo():
+    sim = Simulator()
+    box = Mailbox(sim)
+    results = []
+
+    def consumer(tag):
+        item = yield box.get()
+        results.append((tag, item))
+
+    sim.process(consumer("a"), "a")
+    sim.process(consumer("b"), "b")
+
+    def producer():
+        yield 5
+        box.put(1)
+        box.put(2)
+
+    sim.process(producer(), "p")
+    sim.run()
+    assert results == [("a", 1), ("b", 2)]
+
+
+def test_semaphore_initial_tokens():
+    sim = Simulator()
+    sem = Semaphore(sim, tokens=2)
+
+    def taker():
+        yield sem.acquire()
+        yield sem.acquire()
+        return sim.now
+
+    assert sim.run_process(taker()) == 0
+
+
+def test_semaphore_blocks_then_releases_fifo():
+    sim = Simulator()
+    sem = Semaphore(sim)
+    order = []
+
+    def taker(tag):
+        yield sem.acquire()
+        order.append(tag)
+
+    sim.process(taker("first"), "first")
+    sim.process(taker("second"), "second")
+
+    def releaser():
+        yield 10
+        sem.release(2)
+
+    sim.process(releaser(), "r")
+    sim.run()
+    assert order == ["first", "second"]
+    assert sem.tokens == 0
+
+
+def test_semaphore_rejects_negative():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Semaphore(sim, tokens=-1)
+    sem = Semaphore(sim)
+    with pytest.raises(ValueError):
+        sem.release(-2)
+
+
+def test_signal_wakes_all_current_waiters():
+    sim = Simulator()
+    sig = Signal(sim)
+    woken = []
+
+    def waiter(tag):
+        value = yield sig.wait()
+        woken.append((tag, value, sim.now))
+
+    sim.process(waiter("a"), "a")
+    sim.process(waiter("b"), "b")
+
+    def firer():
+        yield 33
+        sig.fire("go")
+
+    sim.process(firer(), "f")
+    sim.run()
+    assert sorted(woken) == [("a", "go", 33), ("b", "go", 33)]
+    assert sig.waiting == 0
+
+
+def test_signal_is_rearmable():
+    sim = Simulator()
+    sig = Signal(sim)
+    hits = []
+
+    def waiter():
+        for _ in range(3):
+            yield sig.wait()
+            hits.append(sim.now)
+
+    def firer():
+        for t in (10, 20, 30):
+            yield 10
+            sig.fire()
+
+    sim.process(waiter(), "w")
+    sim.process(firer(), "f")
+    sim.run()
+    assert hits == [10, 20, 30]

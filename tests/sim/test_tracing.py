@@ -1,0 +1,26 @@
+"""The tracer utility."""
+
+from repro.sim import Simulator
+from repro.sim.tracing import Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.log("cat", "ignored")
+    assert tracer.records == []
+
+
+def test_records_carry_time_and_category():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    tracer.log("alpha", "first")
+    sim.schedule(50, lambda _: tracer.log("beta", "second"))
+    sim.run()
+    assert [(r.time, r.category) for r in tracer.records] == [
+        (0, "alpha"), (50, "beta"),
+    ]
+    assert tracer.filter("beta")[0].text == "second"
+    assert "alpha" in tracer.render()
+    tracer.clear()
+    assert tracer.records == []
