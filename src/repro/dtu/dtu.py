@@ -16,9 +16,15 @@ import itertools
 import typing
 
 from repro import params
-from repro.dtu.message import HEADER_BYTES, Message, MessageHeader
+from repro.dtu.message import (
+    HEADER_BYTES,
+    Message,
+    MessageHeader,
+    message_crc,
+    payload_crc,
+)
 from repro.dtu.registers import EndpointKind, EndpointRegisters, MemoryPerm
-from repro.dtu.ringbuffer import RingBuffer
+from repro.dtu.ringbuffer import DUPLICATE, RingBuffer
 from repro.noc.packet import Packet
 from repro.sim.ledger import Tag
 from repro.sim.resources import Signal
@@ -46,6 +52,12 @@ class MissingCredits(DtuError):
 
 class NoPermission(DtuError):
     """Operation denied: wrong endpoint kind, bounds, or privilege."""
+
+
+class TransferTimeout(DtuError):
+    """A reliable transfer stayed unacknowledged through the whole
+    retransmit budget (dead receiver, partitioned NoC), or a
+    ``wait_message`` timeout expired."""
 
 
 class DTU:
@@ -85,7 +97,34 @@ class DTU:
         self.privileged = True
         self.messages_sent = 0
         self.messages_dropped = 0
+        # -- reliable delivery (opt-in; see enable_reliability) ---------
+        self._reliable = False
+        self._send_seq = itertools.count()
+        #: unacknowledged reliable transmissions, keyed ("msg", seq) for
+        #: messages/replies and ("txn", id) for memory/config requests.
+        self._retx: dict[tuple, dict] = {}
+        self.retransmits = 0
+        self.acks_sent = 0
+        self.crc_drops = 0
+        self.transfer_failures = 0
+        #: set by the owning PE: where the privileged "probe" config
+        #: operation reads the core's halted/running status.
+        self.status_source = None
         network.attach(node, self.handle_packet)
+
+    def enable_reliability(self) -> None:
+        """Switch this DTU to reliable message delivery.
+
+        Outgoing messages and replies get a sequence number and CRC and
+        are retransmitted with exponential backoff until acknowledged
+        (hardware acks, :data:`params.DTU_RETX_MAX` attempts); memory
+        and configuration requests are re-issued the same way.  When
+        the budget is exhausted the DTU reconciles the spent credit and
+        fails the transfer with :class:`TransferTimeout` instead of
+        leaking endpoint state.  Off by default: the best-effort paths
+        are cycle-identical to the calibrated model.
+        """
+        self._reliable = True
 
     # ------------------------------------------------------------------
     # Local (software-visible) interface
@@ -148,6 +187,10 @@ class DTU:
             if reply_regs.kind != EndpointKind.RECEIVE:
                 raise NoPermission(f"reply EP{reply_ep} is not a receive endpoint")
         ep.credits -= 1
+        seq, crc = -1, 0
+        if self._reliable:
+            seq = next(self._send_seq)
+            crc = payload_crc(ep.label, length, payload)
         header = MessageHeader(
             label=ep.label,
             length=length,
@@ -155,6 +198,8 @@ class DTU:
             reply_ep=reply_ep if reply_ep is not None else -1,
             reply_label=reply_label,
             credit_ep=ep_index,
+            seq=seq,
+            crc=crc,
         )
         message = Message(header, payload)
         packet = Packet(
@@ -165,7 +210,21 @@ class DTU:
             payload=(ep.target_ep, message),
         )
         self.messages_sent += 1
-        return self._inject(packet)
+        if not self._reliable:
+            return self._inject(packet)
+        return self._inject(
+            packet,
+            retx_key=("msg", seq),
+            on_give_up=lambda: self._reconcile_credit(ep_index),
+        )
+
+    def _reconcile_credit(self, ep_index: int) -> None:
+        """Refund the credit of a send that was given up on, so a dead
+        receiver (or a permanently lost reply) cannot leak an
+        endpoint's credits."""
+        ep = self.eps[ep_index]
+        if ep.kind == EndpointKind.SEND:
+            ep.credits = min(ep.credits + 1, ep.max_credits)
 
     def reply(
         self, ep_index: int, slot: int, payload: object, length: int
@@ -186,7 +245,13 @@ class DTU:
         original = ringbuf.peek(slot)
         if not original.can_reply:
             raise NoPermission("original message does not permit a reply")
-        header = MessageHeader(label=original.header.reply_label, length=length)
+        seq, crc = -1, 0
+        if self._reliable:
+            seq = next(self._send_seq)
+            crc = payload_crc(original.header.reply_label, length, payload)
+        header = MessageHeader(
+            label=original.header.reply_label, length=length, seq=seq, crc=crc
+        )
         message = Message(header, payload)
         packet = Packet(
             source=self.node,
@@ -196,24 +261,48 @@ class DTU:
             payload=(original.header.reply_ep, message, original.header.credit_ep),
         )
         ringbuf.ack(slot)
-        return self._inject(packet)
+        if not self._reliable:
+            return self._inject(packet)
+        return self._inject(packet, retx_key=("msg", seq))
 
     def fetch_message(self, ep_index: int) -> tuple[int, Message] | None:
         """Poll a receive endpoint: the next unread (slot, message) or None."""
         return self.ringbuffer(ep_index).fetch()
 
-    def wait_message(self, ep_index: int):
+    def wait_message(self, ep_index: int, timeout: int | None = None):
         """Generator: block until a message is available, then return it.
 
         Models the paper's polling loop ("the software polls a DTU
         register to wait for received messages", Section 4.3) without
         busy-spinning the simulator.
+
+        ``timeout`` bounds the wait in cycles; expiry raises
+        :class:`TransferTimeout`, so callers in fault-prone setups can
+        never block forever on a message that will not come.
         """
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        deadline = None if timeout is None else self.sim.now + timeout
         while True:
             fetched = self.fetch_message(ep_index)
             if fetched is not None:
                 return fetched
-            yield self.signal(ep_index).wait()
+            if deadline is None:
+                yield self.signal(ep_index).wait()
+                continue
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                raise TransferTimeout(
+                    f"no message on EP{ep_index} of node {self.node} "
+                    f"within {timeout} cycles"
+                )
+            from repro.sim.events import first_of
+
+            yield first_of(
+                self.sim,
+                self.signal(ep_index).wait(),
+                self.sim.delay(remaining),
+            )
 
     def ack_message(self, ep_index: int, slot: int) -> None:
         """Free a ringbuffer slot after processing (no reply sent)."""
@@ -235,6 +324,7 @@ class DTU:
             target=ep.mem_node,
             request_bytes=MEM_REQUEST_BYTES,
             payload_builder=lambda tid: (tid, ep.mem_addr + offset, length),
+            expect_bytes=length,
         )
         data = response
         if into_addr is not None:
@@ -274,7 +364,7 @@ class DTU:
         return ep
 
     def _memory_transaction(self, kind: str, target: int, request_bytes: int,
-                            payload_builder):
+                            payload_builder, expect_bytes: int = 0):
         """Issue a request packet and wait for the matching ``mem_resp``."""
         transaction = next(self._transaction_ids)
         done = self.sim.event(f"dtu{self.node}.{kind}#{transaction}")
@@ -287,12 +377,44 @@ class DTU:
             payload=payload_builder(transaction),
         )
         started = self.sim.now
-        self._inject(packet, charge=False)
+        self._inject_transaction(packet, transaction, expect_bytes)
         response = yield done
         # Whole round trip (inject + request + service + response) is
         # transfer time from the core's point of view.
         self.sim.ledger.charge(Tag.XFER, self.sim.now - started)
         return response
+
+    def _inject_transaction(self, packet: Packet, transaction: int,
+                            expect_bytes: int = 0) -> None:
+        """Inject a request packet whose response completes a pending
+        transaction; reliable DTUs re-issue it until answered.
+
+        Requests are idempotent at the receiver (reads, overwrites,
+        register writes), so a duplicate caused by a lost *response* is
+        harmless — the duplicate response is dropped at :meth:`handle_packet`.
+        ``expect_bytes`` sizes the response the caller is waiting for, so
+        the retransmit timer also covers the response's wire time.
+        """
+        if not self._reliable:
+            self._inject(packet, charge=False)
+            return
+
+        def give_up():
+            self.transfer_failures += 1
+            pending = self._pending.pop(transaction, None)
+            if pending is not None and not pending.triggered:
+                pending.fail(
+                    TransferTimeout(
+                        f"node {self.node}: {packet.kind} to node "
+                        f"{packet.destination} got no response after "
+                        f"{params.DTU_RETX_MAX} retransmits"
+                    )
+                )
+
+        self._inject(
+            packet, charge=False, retx_key=("txn", transaction),
+            on_give_up=give_up, expect_bytes=expect_bytes,
+        )
 
     # ------------------------------------------------------------------
     # Remote (kernel-side) configuration — NoC-level isolation
@@ -317,7 +439,7 @@ class DTU:
             size_bytes=64,
             payload=(transaction, self.privileged, operation, args),
         )
-        self._inject(packet, charge=False)
+        self._inject_transaction(packet, transaction)
         started = self.sim.now
         result = yield done
         self.sim.ledger.charge(Tag.XFER, self.sim.now - started)
@@ -376,6 +498,28 @@ class DTU:
         if operation == "upgrade":
             self.privileged = True
             return "ok"
+        if operation == "probe":
+            # Kernel watchdog liveness probe: the DTU answers in
+            # hardware, reporting the attached core's halted bit — a
+            # crashed core cannot fake being alive, and a dead core
+            # cannot prevent the answer.
+            source = self.status_source
+            if source is not None and not source.core_alive():
+                return "halted"
+            return "alive"
+        if operation == "wipe":
+            # Kernel-driven recovery: invalidate every endpoint and drop
+            # all buffered/inflight state — the NoC-level fencing that
+            # cuts a failed PE off from the rest of the chip (Section 3).
+            for ep in self.eps:
+                ep.invalidate()
+            self._ringbufs.clear()
+            self._retx.clear()
+            return "ok"
+        if operation == "set_reliable":
+            (flag,) = args
+            self._reliable = bool(flag)
+            return "ok"
         raise RuntimeError(f"unknown configuration operation {operation!r}")
 
     # ------------------------------------------------------------------
@@ -384,11 +528,27 @@ class DTU:
 
     def handle_packet(self, packet: Packet) -> None:
         """Entry point for packets the NoC delivers to this node."""
+        if packet.corrupted:
+            # The link-level CRC catches in-flight bit errors; the
+            # packet is discarded here, which a reliable sender observes
+            # as a missing ack and retransmits.
+            self.crc_drops += 1
+            if packet.kind in ("message", "reply"):
+                self.messages_dropped += 1
+            return
         if packet.kind == "message":
-            self._deliver_message(*packet.payload, credit_ep=None)
+            ep_index, message = packet.payload
+            self._deliver_message(ep_index, message, credit_ep=None,
+                                  source=packet.source)
         elif packet.kind == "reply":
             ep_index, message, credit_ep = packet.payload
-            self._deliver_message(ep_index, message, credit_ep=credit_ep)
+            self._deliver_message(ep_index, message, credit_ep=credit_ep,
+                                  source=packet.source)
+        elif packet.kind == "msg_ack":
+            (seq,) = packet.payload
+            entry = self._retx.pop(("msg", seq), None)
+            if entry is not None and not entry["done"].triggered:
+                entry["done"].succeed()
         elif packet.kind == "mem_read":
             transaction, address, length = packet.payload
             data = self.local_memory.read(address, length)
@@ -399,7 +559,7 @@ class DTU:
             self._respond_memory(packet.source, transaction, b"", 0)
         elif packet.kind == "mem_resp":
             transaction, data = packet.payload
-            self._pending.pop(transaction).succeed(data)
+            self._complete_transaction(transaction, data)
         elif packet.kind == "ep_config":
             transaction, privileged, operation, args = packet.payload
             if privileged:
@@ -417,12 +577,24 @@ class DTU:
             )
         elif packet.kind == "config_ack":
             transaction, result = packet.payload
-            self._pending.pop(transaction).succeed(result)
+            self._complete_transaction(transaction, result)
         else:
             raise RuntimeError(f"DTU at node {self.node} got {packet!r}")
 
+    def _complete_transaction(self, transaction: int, value: object) -> None:
+        """Finish a pending memory/config transaction; duplicate
+        responses (re-issued requests whose first answer survived after
+        all) are dropped silently."""
+        self._retx.pop(("txn", transaction), None)
+        pending = self._pending.pop(transaction, None)
+        if pending is not None and not pending.triggered:
+            pending.succeed(value)
+
     def _deliver_message(self, ep_index: int, message: Message,
-                         credit_ep: int | None) -> None:
+                         credit_ep: int | None, source: int = -1) -> None:
+        if message.header.seq >= 0:
+            self._deliver_reliable(ep_index, message, credit_ep, source)
+            return
         if credit_ep is not None and credit_ep >= 0:
             # A reply refills the original send endpoint's credits.
             sender_ep = self.eps[credit_ep]
@@ -437,6 +609,53 @@ class DTU:
             self.messages_dropped += 1
             return
         self._signals[ep_index].fire()
+
+    def _deliver_reliable(self, ep_index: int, message: Message,
+                          credit_ep: int | None, source: int) -> None:
+        """Sequence-numbered delivery: CRC check, duplicate suppression,
+        hardware ack.  Side effects (ringbuffer push, credit refill)
+        happen at most once per sequence number; a message the receiver
+        cannot accept is simply not acked, so the sender retransmits
+        and eventually reconciles.
+        """
+        ep = self.eps[ep_index] if 0 <= ep_index < len(self.eps) else None
+        if ep is None or ep.kind != EndpointKind.RECEIVE:
+            self.messages_dropped += 1
+            return
+        if message.header.crc != message_crc(message):
+            self.crc_drops += 1
+            self.messages_dropped += 1
+            return
+        slot = self._ringbufs[ep_index].push(message, source=source)
+        if slot is DUPLICATE:
+            # Already delivered once: the earlier ack was lost. Re-ack
+            # without repeating the delivery side effects.
+            self._send_ack(source, message.header.seq)
+            return
+        if slot is None:
+            self.messages_dropped += 1  # ring full: flow-control drop
+            return
+        if credit_ep is not None and credit_ep >= 0:
+            sender_ep = self.eps[credit_ep]
+            if sender_ep.kind == EndpointKind.SEND:
+                sender_ep.credits = min(sender_ep.credits + 1,
+                                        sender_ep.max_credits)
+        self._send_ack(source, message.header.seq)
+        self._signals[ep_index].fire()
+
+    def _send_ack(self, destination: int, seq: int) -> None:
+        """Hardware-generated delivery acknowledgement (no core
+        involvement, no ledger charge)."""
+        self.acks_sent += 1
+        self.network.send(
+            Packet(
+                source=self.node,
+                destination=destination,
+                kind="msg_ack",
+                size_bytes=8,
+                payload=(seq,),
+            )
+        )
 
     def _respond_memory(self, requester: int, transaction: int, data: bytes,
                         size: int) -> None:
@@ -455,8 +674,16 @@ class DTU:
 
     # ------------------------------------------------------------------
 
-    def _inject(self, packet: Packet, charge: bool = True) -> "Event":
-        """Queue a packet after the injection delay; return delivery event."""
+    def _inject(self, packet: Packet, charge: bool = True,
+                retx_key: tuple | None = None,
+                on_give_up=None, expect_bytes: int = 0) -> "Event":
+        """Queue a packet after the injection delay; return delivery event.
+
+        With ``retx_key`` the transmission is reliable: the returned
+        event triggers only once the transfer is acknowledged (or fails
+        with :class:`TransferTimeout` after the retransmit budget), and
+        the packet is re-sent with exponential backoff until then.
+        """
         done = self.sim.event(f"dtu{self.node}.delivery")
         if charge:
             self.sim.ledger.charge(Tag.XFER, params.DTU_INJECT_CYCLES)
@@ -466,10 +693,61 @@ class DTU:
             wire = completion - self.sim.now
             if charge:
                 self.sim.ledger.charge(Tag.XFER, wire)
-            self.sim.schedule(wire, lambda _: done.succeed())
+            if retx_key is None:
+                self.sim.schedule(wire, lambda _: done.succeed())
+            else:
+                self._retx[retx_key] = {
+                    "packet": packet,
+                    "attempts": 1,
+                    "done": done,
+                    "give_up": on_give_up,
+                }
+                # The expected response's own serialisation time counts
+                # toward the round trip the timer must not undercut.
+                response_wire = -(-expect_bytes // self.network.bytes_per_cycle)
+                self._arm_retx(retx_key, completion + response_wire,
+                               params.DTU_RETX_TIMEOUT_CYCLES)
 
         self.sim.schedule(params.DTU_INJECT_CYCLES, inject)
         return done
+
+    def _arm_retx(self, key: tuple, eta: int, grace: int) -> None:
+        """Schedule the retransmit timer for an unacknowledged transfer.
+
+        The timer fires ``grace`` cycles after ``eta`` — the cycle the
+        network promised delivery at — so a large packet (whose wire
+        time alone exceeds any flat timeout) is never retransmitted
+        while it is still legitimately in flight.  ``grace`` covers the
+        receiver's turnaround plus the ack's way back and grows by
+        :data:`params.DTU_RETX_BACKOFF` per attempt.
+        """
+
+        def fire(_):
+            entry = self._retx.get(key)
+            if entry is None:
+                return  # acked (or wiped) in the meantime
+            if entry["attempts"] > params.DTU_RETX_MAX:
+                del self._retx[key]
+                if entry["give_up"] is not None:
+                    entry["give_up"]()
+                if not entry["done"].triggered:
+                    packet = entry["packet"]
+                    entry["done"].fail(
+                        TransferTimeout(
+                            f"node {self.node}: {packet.kind} to node "
+                            f"{packet.destination} unacknowledged after "
+                            f"{params.DTU_RETX_MAX} retransmits"
+                        )
+                    )
+                return
+            entry["attempts"] += 1
+            self.retransmits += 1
+            completion = self.network.send(entry["packet"])
+            self._arm_retx(key, completion,
+                           int(grace * params.DTU_RETX_BACKOFF))
+
+        self.sim.schedule(max(1, eta - self.sim.now) + grace, fire)
+
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "privileged" if self.privileged else "unprivileged"

@@ -9,8 +9,12 @@ the length of the message, and information for a potential reply"
 from __future__ import annotations
 
 import dataclasses
+import zlib
 
 #: Wire size of the header the DTU prepends (label, length, reply info).
+#: The reliable-delivery fields (sequence number, CRC) fit the padding
+#: of the 16-byte header, so enabling reliability does not change any
+#: wire size.
 HEADER_BYTES = 16
 
 
@@ -29,6 +33,11 @@ class MessageHeader:
     reply_label: int = 0
     #: send endpoint at the sender whose credits a reply refills.
     credit_ep: int = -1
+    #: reliable-delivery sequence number, unique per sending DTU;
+    #: ``seq < 0`` marks a best-effort message (no ack, no retransmit).
+    seq: int = -1
+    #: CRC over (label, length, payload); 0 on best-effort messages.
+    crc: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,3 +58,18 @@ class Message:
     def size_bytes(self) -> int:
         """Wire size: header plus declared payload length."""
         return HEADER_BYTES + self.header.length
+
+
+def payload_crc(label: int, length: int, payload: object) -> int:
+    """CRC the DTU stamps on (and checks against) a reliable message.
+
+    Computed over the stable repr of the header-identifying fields and
+    the payload; never 0, so ``crc == 0`` always means "unchecked".
+    """
+    return zlib.crc32(repr((label, length, payload)).encode()) or 1
+
+
+def message_crc(message: Message) -> int:
+    """The expected CRC of a delivered message."""
+    return payload_crc(message.header.label, message.header.length,
+                       message.payload)

@@ -11,13 +11,22 @@ throttled by credits before that happens.
 
 from __future__ import annotations
 
+import collections
+
+from repro import params
 from repro.dtu.message import Message
+
+#: sentinel returned by :meth:`RingBuffer.push` for a suppressed
+#: duplicate: the message was already delivered once, so the receiver
+#: must re-acknowledge it but not deliver it again.
+DUPLICATE = object()
 
 
 class RingBuffer:
     """Fixed-slot ringbuffer holding delivered messages."""
 
-    def __init__(self, slot_size: int, slot_count: int):
+    def __init__(self, slot_size: int, slot_count: int,
+                 dedup_window: int = params.DTU_DEDUP_WINDOW):
         if slot_size <= 0 or slot_count <= 0:
             raise ValueError("ringbuffer geometry must be positive")
         self.slot_size = slot_size
@@ -27,6 +36,11 @@ class RingBuffer:
         self._read_pos = 0
         self.delivered = 0
         self.dropped = 0
+        #: reliable delivery: recently accepted (source, seq) pairs, so a
+        #: retransmit whose ack was lost is re-acked but not re-delivered.
+        self._seen: collections.OrderedDict = collections.OrderedDict()
+        self._dedup_window = dedup_window
+        self.duplicates = 0
 
     @property
     def occupied(self) -> int:
@@ -37,8 +51,14 @@ class RingBuffer:
     def full(self) -> bool:
         return self._slots[self._write_pos] is not None
 
-    def push(self, message: Message) -> int | None:
-        """Store a delivered message; returns its slot or None if dropped."""
+    def push(self, message: Message, source: int = -1):
+        """Store a delivered message.
+
+        Returns the chosen slot, ``None`` if the ring is full (the
+        message is dropped), or :data:`DUPLICATE` when a reliable
+        message (``header.seq >= 0``) from ``source`` was already
+        accepted — the caller re-acks without delivering twice.
+        """
         if message.size_bytes() > self.slot_size:
             # The sender's DTU enforces the size limit; this guards against
             # misconfiguration.  Slot size counts header plus payload.
@@ -46,6 +66,10 @@ class RingBuffer:
                 f"message of {message.size_bytes()}B exceeds slot of "
                 f"{self.slot_size}B"
             )
+        seq = message.header.seq
+        if seq >= 0 and (source, seq) in self._seen:
+            self.duplicates += 1
+            return DUPLICATE
         if self.full:
             self.dropped += 1
             return None
@@ -53,6 +77,12 @@ class RingBuffer:
         self._slots[slot] = message
         self._write_pos = (slot + 1) % self.slot_count
         self.delivered += 1
+        if seq >= 0:
+            # Record only accepted messages: a retransmit of a message
+            # dropped here (ring full) must still be deliverable.
+            self._seen[(source, seq)] = True
+            while len(self._seen) > self._dedup_window:
+                self._seen.popitem(last=False)
         return slot
 
     def fetch(self) -> tuple[int, Message] | None:

@@ -34,6 +34,12 @@ class ProcessingElement:
         self.spm_code = Scratchpad(spm_code_bytes, name=f"pe{node}.code")
         self.spm_data = Scratchpad(spm_data_bytes, name=f"pe{node}.data")
         self.dtu = DTU(sim, network, node, self.spm_data, ep_count=ep_count)
+        # The DTU can report the core's halted bit (the kernel watchdog's
+        # "probe" configuration operation) — the DTU is separate hardware
+        # and keeps answering even when the core is dead.
+        self.dtu.status_source = self
+        #: set when the core has suffered a permanent fault (fail-stop).
+        self.failed = False
         #: the software currently occupying this PE (None when free).
         self.occupant: "Process | None" = None
         #: set while a kernel has claimed the PE for a VPE that has not
@@ -61,6 +67,31 @@ class ProcessingElement:
         self.occupant = process
         self.reserved = False
         return process
+
+    def fail(self, cause: object = "pe-fault") -> None:
+        """Fail-stop the core: it halts permanently, mid-instruction.
+
+        The DTU keeps running (it is separate hardware on the same
+        node), which is what lets the kernel detect the failure via a
+        remote probe and recover.  The occupant process is interrupted
+        so the simulation does not keep executing dead software.
+        """
+        self.failed = True
+        occupant = self.occupant
+        if occupant is not None and occupant.alive:
+            try:
+                occupant.interrupt(cause)
+            except RuntimeError:
+                # The occupant is not blocked yet (it was created this
+                # very cycle); halt it as soon as it first blocks.
+                self.sim.call_soon(
+                    lambda _: occupant.interrupt(cause)
+                    if occupant.alive else None
+                )
+
+    def core_alive(self) -> bool:
+        """The halted bit the DTU's "probe" operation reports."""
+        return not self.failed
 
     def release(self) -> None:
         """Mark the PE free again (after its occupant finished or was reset)."""

@@ -93,12 +93,19 @@ class Platform:
         accelerator" (Section 4.5.5).
         """
         for pe in self.pes:
-            if pe.busy:
+            if pe.busy or pe.failed:
                 continue
             if core_type is not None and pe.core.type.name != core_type:
                 continue
             return pe
         return None
+
+    def enable_reliable_messaging(self) -> None:
+        """Switch every DTU on the chip to reliable delivery
+        (acknowledged, CRC-checked, retransmitted — see
+        :meth:`repro.dtu.dtu.DTU.enable_reliability`)."""
+        for pe in self.pes:
+            pe.dtu.enable_reliability()
 
     @classmethod
     def build(cls, pe_count: int = 8, accelerators: dict | None = None,

@@ -117,6 +117,10 @@ class CapTable:
         cap.table = None
         cap.selector = None
 
+    def caps(self) -> list[Capability]:
+        """A snapshot of the installed capabilities (revoke-safe copy)."""
+        return list(self._caps.values())
+
     def __len__(self) -> int:
         return len(self._caps)
 

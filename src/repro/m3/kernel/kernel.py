@@ -12,6 +12,7 @@ import itertools
 import typing
 
 from repro import params
+from repro.dtu.dtu import DtuError
 from repro.dtu.message import HEADER_BYTES
 from repro.dtu.registers import EndpointRegisters, MemoryPerm
 from repro.m3.kernel import syscalls
@@ -107,6 +108,11 @@ class Kernel:
         #: vpe id -> libm3 Env, populated by the system layer (used by
         #: the context switcher to flush client-side endpoint bindings).
         self.envs: dict[int, object] = {}
+        #: watchdog state (see :meth:`start_watchdog`).
+        self._watchdog = None
+        self._watchdog_stop = False
+        self.probes_sent = 0
+        self.recoveries = 0
 
     # ------------------------------------------------------------------
     # Boot
@@ -253,6 +259,110 @@ class Kernel:
         vpe.exit_events.clear()
         self.ctxsw.vpe_gone(vpe)
         self.ctxsw.child_exited(vpe)
+
+    # ------------------------------------------------------------------
+    # Watchdog: failure detection and recovery
+    # ------------------------------------------------------------------
+
+    def start_watchdog(self, period: int = params.KERNEL_WATCHDOG_PERIOD,
+                       probe_timeout: int =
+                       params.KERNEL_PROBE_TIMEOUT_CYCLES):
+        """Start the liveness watchdog on the kernel PE.
+
+        Every ``period`` cycles the kernel probes the DTU of each
+        running, resident VPE (the DTU answers in hardware with the
+        core's halted bit, so a dead core cannot suppress the answer).
+        A probe that reports "halted" — or that gets no answer within
+        ``probe_timeout`` cycles, i.e. the whole node is unreachable —
+        triggers :meth:`recover_vpe`.
+        """
+        if self._watchdog is not None and self._watchdog.alive:
+            raise RuntimeError("watchdog already running")
+        self._watchdog_stop = False
+        self._watchdog = self.sim.process(
+            self._watchdog_loop(period, probe_timeout), "kernel.watchdog"
+        )
+        return self._watchdog
+
+    def stop_watchdog(self) -> None:
+        """Let the watchdog loop exit at its next wake-up (so a bare
+        ``sim.run()`` can drain the event queue)."""
+        self._watchdog_stop = True
+
+    def _watchdog_loop(self, period: int, probe_timeout: int):
+        while True:
+            yield self.sim.delay(period)
+            if self._watchdog_stop:
+                return
+            for vpe in list(self.vpes.values()):
+                if (vpe.state != VpeState.RUNNING or not vpe.resident
+                        or vpe.failed or vpe.node == self.node):
+                    continue
+                yield self.sim.delay(params.KERNEL_PROBE_CYCLES, tag=Tag.OS)
+                alive = yield from self._probe_vpe(vpe, probe_timeout)
+                if not alive:
+                    yield from self.recover_vpe(vpe, "watchdog probe failed")
+
+    def _probe_vpe(self, vpe: VpeObject, timeout: int):
+        """Generator: probe one VPE's node; returns whether it is alive.
+
+        The probe races against ``timeout`` so an unreachable node
+        (partitioned NoC, wedged DTU) is detected too, not only a
+        cleanly-reported halted core.
+        """
+        from repro.sim.events import first_of
+
+        self.probes_sent += 1
+        probe = self.sim.process(
+            self.dtu.configure_remote(vpe.node, "probe"),
+            f"kernel.probe.vpe{vpe.id}",
+        )
+        yield first_of(self.sim, probe.done, self.sim.delay(timeout))
+        return probe.done.triggered and probe.done.ok \
+            and probe.done.value == "alive"
+
+    def recover_vpe(self, vpe: VpeObject, reason: str):
+        """Generator: tear a failed VPE out of the system.
+
+        The PE's core is gone but its DTU still obeys privileged
+        configuration packets, so the kernel (1) wipes the dead node's
+        endpoints — NoC-level fencing that stops half-dead software
+        state from being reachable, (2) quarantines the PE from
+        allocation, (3) fails all VPE_WAIT callers with an error reply
+        instead of leaving them blocked forever, and (4) revokes every
+        capability the VPE held, which invalidates the endpoints other
+        VPEs had configured from its grants.
+        """
+        self.recoveries += 1
+        vpe.failed = True
+        self.sim.ledger.mark(
+            self.sim.now, Tag.FAULT,
+            f"kernel recovers VPE #{vpe.id} ({vpe.name}): {reason}",
+        )
+        try:
+            yield from self.dtu.configure_remote(vpe.node, "wipe")
+        except DtuError:
+            pass  # node unreachable: fenced by the NoC instead
+        vpe.pe.failed = True  # quarantine: find_free_pe skips it
+        occupant = vpe.pe.occupant
+        if occupant is not None and occupant.alive:
+            try:
+                occupant.interrupt("pe-failed")
+            except RuntimeError:
+                pass  # not blocked; it is dead hardware either way
+        error = ("err", f"VPE {vpe.name!r} failed: {reason}")
+        for waiter_vpe, slot in vpe.waiters + vpe.yield_waiters:
+            self._reply(waiter_vpe, slot, error)
+        vpe.waiters.clear()
+        vpe.yield_waiters.clear()
+        # DEAD before revoking, so _teardown's VPE branch does not try
+        # to "exit" the corpse a second time.
+        self.vpe_exited(vpe, ("failed", reason))
+        for cap in vpe.captable.caps():
+            if cap.table is None:
+                continue  # removed with an earlier cap's subtree
+            for victim in revoke(cap):
+                yield from self._teardown(victim)
 
     # ------------------------------------------------------------------
     # The dispatch loop

@@ -36,6 +36,8 @@ class VpeObject:
         self.captable = CapTable(self)
         self.state = VpeState.INIT
         self.exit_code: object = None
+        #: set when the kernel's watchdog declared this VPE's PE dead.
+        self.failed = False
         #: pending VPE_WAIT replies: (waiting VPE, ringbuffer slot) pairs.
         self.waiters: list[tuple] = []
         #: pending vpe_wait_yield replies (context-switching waiters).

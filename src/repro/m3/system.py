@@ -28,8 +28,13 @@ class M3System:
 
     def __init__(self, platform: Platform | None = None, pe_count: int = 8,
                  kernel_node: int = 0, multiplexing: bool = False,
-                 auto_rebalance: bool = False, **platform_kwargs):
+                 auto_rebalance: bool = False, reliable: bool = False,
+                 **platform_kwargs):
         self.platform = platform or Platform.build(pe_count, **platform_kwargs)
+        if reliable:
+            # Reliable (acked/retransmitted) DTU messaging — required
+            # under an injected fault plan, cycle-identical paths when off.
+            self.platform.enable_reliable_messaging()
         self.sim = self.platform.sim
         self.kernel = Kernel(self.platform, node=kernel_node)
         self.kernel.start_software = self._start_software

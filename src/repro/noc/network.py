@@ -52,6 +52,12 @@ class Network:
         self.bytes_sent = 0
         #: optional tracer (see :meth:`enable_tracing`).
         self.tracer = None
+        #: optional fault plan (see :mod:`repro.faults`); with None
+        #: installed, delivery pays exactly one branch per packet.
+        self.fault_plan = None
+        self.packets_lost = 0
+        self.packets_corrupted = 0
+        self.packets_delayed = 0
 
     def enable_tracing(self) -> "object":
         """Record every packet injection; returns the Tracer."""
@@ -115,6 +121,19 @@ class Network:
             raise RuntimeError(
                 f"packet to node {packet.destination} but nothing is attached there"
             )
+        if self.fault_plan is not None:
+            verdict, extra = self.fault_plan.judge(packet, self.sim.now, self)
+            if verdict == "drop":
+                # The packet burned its path reservations, then vanished;
+                # the sender still observes the nominal completion time.
+                self.packets_lost += 1
+                return completion
+            if verdict == "corrupt":
+                packet.corrupted = True
+                self.packets_corrupted += 1
+            if extra:
+                self.packets_delayed += 1
+                completion += extra
         self.sim.schedule(completion - self.sim.now, handler, packet)
         return completion
 

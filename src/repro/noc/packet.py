@@ -22,6 +22,10 @@ class Packet:
     kind: str  # "message" | "mem_read" | "mem_write" | "mem_resp"
     size_bytes: int
     payload: object = None
+    #: set by an installed fault plan: in-flight bit errors.  Receivers
+    #: detect this through the NoC's link-level CRC and discard the
+    #: packet (reliable DTU channels then retransmit).
+    corrupted: bool = False
     packet_id: int = dataclasses.field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self):

@@ -50,6 +50,41 @@ DTU_INJECT_CYCLES = 6
 DRAM_ACCESS_CYCLES = 20
 
 # --------------------------------------------------------------------------
+# Reliable DTU delivery (repro.faults / fault-tolerance experiments).
+# Opt-in via DTU.enable_reliability(); zero overhead and unused in the
+# calibrated paper figures, so none of these values affect them.
+# --------------------------------------------------------------------------
+
+#: Initial sender-side ack grace period, counted from the cycle the
+#: network promised delivery at (so bulk packets whose wire time alone
+#: is thousands of cycles are never retransmitted while still in
+#: flight).  Covers receiver turnaround plus the ack's return trip
+#: (~60-100 cycles one-hop; syscall service adds ~170); 512 cycles
+#: keeps spurious retransmits rare while detecting losses quickly.
+DTU_RETX_TIMEOUT_CYCLES = 512
+
+#: Retransmit attempts before the DTU gives up, reconciles the spent
+#: credit, and fails the transfer with TransferTimeout.
+DTU_RETX_MAX = 6
+
+#: Exponential backoff factor between retransmit attempts.
+DTU_RETX_BACKOFF = 2.0
+
+#: Receiver-side duplicate-suppression window: how many recently seen
+#: (sender, sequence-number) pairs each ringbuffer remembers.  Must
+#: exceed the in-flight depth of any sender times DTU_RETX_MAX.
+DTU_DEDUP_WINDOW = 128
+
+#: Kernel watchdog: probe period and per-probe response timeout.  The
+#: probe is a privileged DTU configuration packet, so it works against
+#: PEs whose software is dead (the DTU answers in hardware).
+KERNEL_WATCHDOG_PERIOD = 5_000
+KERNEL_PROBE_TIMEOUT_CYCLES = 4_000
+
+#: Kernel-side software cost of issuing one watchdog probe.
+KERNEL_PROBE_CYCLES = 40
+
+# --------------------------------------------------------------------------
 # M3 software path lengths (Sections 5.3, 5.4)
 # --------------------------------------------------------------------------
 

@@ -4,6 +4,15 @@ These are convenience synchronisation objects for simulated software.
 They do not model hardware — the DTU has its own ringbuffer/credit
 machinery — but OS services and the Linux baseline use them for
 scheduler queues and producer/consumer hand-off.
+
+Deadlock freedom: every blocking primitive here either offers a
+``timeout`` (``Signal.wait``) or is only used in request/response pairs
+where the waker is a simulator process that cannot be lost (Mailbox and
+Semaphore waiters are woken in FIFO order by ``put``/``release``; the
+kernel and Linux baselines never block on a mailbox whose producer is
+not itself scheduled).  Fault-prone setups must use the timeout variants
+— ``DTU.wait_message(timeout=...)``, ``Signal.wait(timeout=...)`` — so a
+lost message can never stall a process forever.
 """
 
 from __future__ import annotations
@@ -15,6 +24,10 @@ from repro.sim.events import Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
+
+
+class WaitTimeout(Exception):
+    """A bounded ``Signal.wait`` expired before the signal fired."""
 
 
 class Mailbox:
@@ -94,10 +107,28 @@ class Signal:
         self.name = name
         self._waiters: list[Event] = []
 
-    def wait(self) -> Event:
-        """An event for the next firing."""
+    def wait(self, timeout: int | None = None) -> Event:
+        """An event for the next firing.
+
+        With ``timeout``, the event instead *fails* with
+        :class:`WaitTimeout` after that many cycles if the signal has
+        not fired — the waiter is deregistered, so abandoned waits do
+        not accumulate.
+        """
         event = Event(self.sim, f"{self.name}.wait")
         self._waiters.append(event)
+        if timeout is not None:
+            if timeout <= 0:
+                raise ValueError(f"timeout must be positive, got {timeout}")
+
+            def expire(_):
+                if not event.triggered:
+                    self._waiters.remove(event)
+                    event.fail(WaitTimeout(
+                        f"{self.name} did not fire within {timeout} cycles"
+                    ))
+
+            self.sim.schedule(timeout, expire)
         return event
 
     def fire(self, value: object = None) -> None:

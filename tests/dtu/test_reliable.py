@@ -1,0 +1,181 @@
+"""Reliable DTU delivery: acks, retransmits, dedup, credit reconciliation."""
+
+import pytest
+
+from repro import params
+from repro.dtu.dtu import TransferTimeout
+from repro.dtu.registers import EndpointRegisters
+from repro.faults import FaultPlan
+from repro.hw import Platform
+from tests.dtu.conftest import configure_channel, configure_memory_ep
+
+
+@pytest.fixture
+def platform():
+    p = Platform.build(pe_count=4, mesh_width=3, mesh_height=2)
+    for pe in p.pes:
+        pe.dtu.enable_reliability()
+    return p
+
+
+def _channel(platform, **kwargs):
+    sender, receiver = platform.pe(0).dtu, platform.pe(1).dtu
+    configure_channel(sender, receiver, **kwargs)
+    return sender, receiver
+
+
+def test_reliable_send_is_acked_not_retransmitted(platform):
+    sender, receiver = _channel(platform)
+
+    def tx():
+        yield sender.send(0, payload=("hi",), length=8)
+
+    platform.pe(0).run(tx(), "tx")
+    platform.sim.run()
+    slot_msg = receiver.fetch_message(1)
+    assert slot_msg is not None
+    assert slot_msg[1].header.seq >= 0
+    assert slot_msg[1].header.crc != 0
+    assert receiver.acks_sent == 1
+    assert sender.retransmits == 0
+    assert not sender._retx  # ack cleared the retransmit entry
+
+
+def test_lost_message_is_retransmitted_and_delivered(platform):
+    # Drop exactly the first matching message packet, nothing else.
+    FaultPlan(seed=1).drop(1.0, kinds=("message",),
+                           window=(0, 30)).install(platform)
+    sender, receiver = _channel(platform)
+
+    def tx():
+        yield sender.send(0, payload=("persist",), length=8)
+
+    platform.pe(0).run(tx(), "tx")
+    platform.sim.run()
+    assert platform.network.packets_lost >= 1
+    assert sender.retransmits >= 1
+    fetched = receiver.fetch_message(1)
+    assert fetched is not None and fetched[1].payload == ("persist",)
+
+
+def test_lost_ack_triggers_dup_suppression(platform):
+    # The message gets through; its ack is dropped once, so the sender
+    # retransmits and the receiver must re-ack without re-delivering.
+    FaultPlan(seed=1).drop(1.0, kinds=("msg_ack",),
+                           window=(0, 30)).install(platform)
+    sender, receiver = _channel(platform)
+
+    def tx():
+        yield sender.send(0, payload=("once",), length=8)
+
+    platform.pe(0).run(tx(), "tx")
+    platform.sim.run()
+    assert sender.retransmits >= 1
+    assert receiver.ringbuffer(1).duplicates >= 1
+    # Delivered exactly once despite the retransmit.
+    assert receiver.fetch_message(1) is not None
+    assert receiver.fetch_message(1) is None
+
+
+def test_duplicate_reply_cannot_double_refill_credits(platform):
+    # Lose the reply's ack: the replier retransmits the reply, and the
+    # duplicate must not refill the original sender's credits twice.
+    FaultPlan(seed=1).drop(1.0, kinds=("msg_ack",), destination=1,
+                           window=(0, 200)).install(platform)
+    sender, receiver = _channel(platform, credits=4)
+    sender.configure_local(
+        "configure",
+        2,
+        EndpointRegisters.receive_config(buffer_addr=0, slot_size=128,
+                                         slot_count=4),
+    )
+
+    def tx():
+        yield sender.send(0, payload=("ping",), length=8, reply_ep=2)
+
+    platform.pe(0).run(tx(), "tx")
+
+    def rx():
+        slot, _message = yield from receiver.wait_message(1)
+        yield receiver.reply(1, slot, payload=("pong",), length=8)
+
+    platform.pe(1).run(rx(), "rx")
+    platform.sim.run()
+    assert receiver.retransmits >= 1  # the reply was re-sent
+    # One send spent one credit; exactly one refill came back.
+    assert sender.eps[0].credits == 4
+
+
+def test_give_up_reconciles_credit_and_fails_transfer(platform):
+    FaultPlan(seed=1).drop(1.0, kinds=("message",)).install(platform)
+    sender, _receiver = _channel(platform, credits=2)
+
+    def tx():
+        with pytest.raises(TransferTimeout):
+            yield sender.send(0, payload=("doomed",), length=8)
+        return sender.eps[0].credits
+
+    proc = platform.pe(0).run(tx(), "tx")
+    platform.sim.run()
+    assert proc.done.ok
+    # The credit spent on the doomed send was refunded.
+    assert proc.done.value == 2
+    assert sender.retransmits == params.DTU_RETX_MAX
+
+
+def test_memory_transaction_survives_lost_response(platform):
+    FaultPlan(seed=1).drop(1.0, kinds=("mem_resp",),
+                           window=(0, 30)).install(platform)
+    requester = platform.pe(0).dtu
+    target = platform.pe(1)
+    target.spm_data.write(0, b"payload-bytes")
+    configure_memory_ep(requester, 2, target.node, 0, 4096)
+
+    def reader():
+        data = yield from requester.read_memory(2, 0, 13)
+        return data
+
+    proc = platform.pe(0).run(reader(), "reader")
+    platform.sim.run()
+    assert proc.done.ok
+    assert proc.done.value == b"payload-bytes"
+    assert requester.retransmits >= 1
+
+
+def test_wait_message_timeout_raises(platform):
+    _sender, receiver = _channel(platform)
+
+    def rx():
+        with pytest.raises(TransferTimeout):
+            yield from receiver.wait_message(1, timeout=500)
+        return platform.sim.now
+
+    proc = platform.pe(1).run(rx(), "rx")
+    platform.sim.run()
+    assert proc.done.ok
+    assert proc.done.value >= 500
+
+
+def test_wipe_clears_endpoints_and_retx_state(platform):
+    sender, receiver = _channel(platform)
+    assert receiver.eps[1].kind.name == "RECEIVE"
+    assert receiver._apply_config("wipe", ()) == "ok"
+    assert all(ep.kind.name == "INVALID" for ep in receiver.eps)
+    assert receiver._ringbufs == {}
+
+
+def test_unreliable_default_has_no_seq_no_acks():
+    platform = Platform.build(pe_count=4, mesh_width=3, mesh_height=2)
+    sender, receiver = platform.pe(0).dtu, platform.pe(1).dtu
+    configure_channel(sender, receiver)
+
+    def tx():
+        yield sender.send(0, payload=("plain",), length=8)
+
+    platform.pe(0).run(tx(), "tx")
+    platform.sim.run()
+    slot_msg = receiver.fetch_message(1)
+    assert slot_msg[1].header.seq == -1
+    assert slot_msg[1].header.crc == 0
+    assert receiver.acks_sent == 0
+    assert sender._retx == {}
