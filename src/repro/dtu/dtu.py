@@ -211,12 +211,16 @@ class DTU:
         )
         self.messages_sent += 1
         if not self._reliable:
-            return self._inject(packet)
-        return self._inject(
-            packet,
-            retx_key=("msg", seq),
-            on_give_up=lambda: self._reconcile_credit(ep_index),
-        )
+            done = self._inject(packet)
+        else:
+            done = self._inject(
+                packet,
+                retx_key=("msg", seq),
+                on_give_up=lambda: self._reconcile_credit(ep_index),
+            )
+        if self.sim.obs is not None:
+            self._observe_message(packet, done)
+        return done
 
     def _reconcile_credit(self, ep_index: int) -> None:
         """Refund the credit of a send that was given up on, so a dead
@@ -262,8 +266,34 @@ class DTU:
         )
         ringbuf.ack(slot)
         if not self._reliable:
-            return self._inject(packet)
-        return self._inject(packet, retx_key=("msg", seq))
+            done = self._inject(packet)
+        else:
+            done = self._inject(packet, retx_key=("msg", seq))
+        if self.sim.obs is not None:
+            self._observe_message(packet, done)
+        return done
+
+    def _observe_message(self, packet: Packet, done: "Event") -> None:
+        """Record a message/reply span and its round-trip histogram.
+
+        The span closes (and the sample lands) when ``done`` triggers:
+        delivery completion in best-effort mode, the hardware ack in
+        reliable mode — i.e. the true round trip.
+        """
+        obs = self.sim.obs
+        obs.count(f"dtu.sends.{packet.kind}")
+        started = self.sim.now
+
+        def record(event, started=started, packet=packet):
+            if not event.ok:
+                return
+            obs.observe("dtu.msg_rtt", self.sim.now - started)
+            obs.complete(
+                packet.kind, "dtu", self.node, started,
+                destination=packet.destination, bytes=packet.size_bytes,
+            )
+
+        done.add_callback(record)
 
     def fetch_message(self, ep_index: int) -> tuple[int, Message] | None:
         """Poll a receive endpoint: the next unread (slot, message) or None."""
@@ -535,6 +565,10 @@ class DTU:
             self.crc_drops += 1
             if packet.kind in ("message", "reply"):
                 self.messages_dropped += 1
+            if self.sim.obs is not None:
+                self.sim.obs.count("dtu.crc_drops")
+                self.sim.obs.instant("crc_drop", "dtu", self.node,
+                                     kind=packet.kind, source=packet.source)
             return
         if packet.kind == "message":
             ep_index, message = packet.payload
@@ -647,6 +681,8 @@ class DTU:
         """Hardware-generated delivery acknowledgement (no core
         involvement, no ledger charge)."""
         self.acks_sent += 1
+        if self.sim.obs is not None:
+            self.sim.obs.count("dtu.acks_sent")
         self.network.send(
             Packet(
                 source=self.node,
@@ -742,6 +778,14 @@ class DTU:
                 return
             entry["attempts"] += 1
             self.retransmits += 1
+            if self.sim.obs is not None:
+                self.sim.obs.count("dtu.retransmits")
+                self.sim.obs.instant(
+                    "retransmit", "dtu", self.node,
+                    kind=entry["packet"].kind,
+                    destination=entry["packet"].destination,
+                    attempt=entry["attempts"],
+                )
             completion = self.network.send(entry["packet"])
             self._arm_retx(key, completion,
                            int(grace * params.DTU_RETX_BACKOFF))

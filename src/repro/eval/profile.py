@@ -1,0 +1,239 @@
+"""Profiling reports over the observability subsystem.
+
+This module turns an installed :class:`repro.obs.Observer` into the
+plain-text reports the repo's other figures use: latency histograms
+(log2 buckets), named counters, and exact per-link NoC occupancy.  It
+also owns the raw counter collection that used to be hand-rolled in
+:mod:`repro.eval.stats` — ``stats.collect`` now delegates here.
+
+``main()`` runs a Figure-3-style microbenchmark (null syscalls plus a
+buffered file read) with observability enabled and writes both
+``results/profile.txt`` and a Chrome trace-event JSON
+(``results/fig3_micro.trace.json``) that loads in Perfetto.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import typing
+
+from repro import params
+from repro.eval.report import render_table
+from repro.obs import export_chrome_trace
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.m3.system import M3System
+    from repro.noc.network import Network
+    from repro.obs import Histogram, Observer
+
+#: the profile microbenchmark's workload geometry (a scaled-down
+#: Figure 3: enough traffic for meaningful histograms, fast to run).
+PROFILE_SYSCALLS = 16
+PROFILE_FILE_BYTES = 256 * 1024
+PROFILE_BUFFER_BYTES = params.MICRO_BUFFER_BYTES
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "results"
+
+
+# -- raw counter collection (moved from eval/stats.py) ------------------------
+
+
+def collect(system: "M3System") -> dict:
+    """All layer counters as one nested dict."""
+    network = system.platform.network
+    utilisation = network.utilization_report()
+    busiest = sorted(utilisation.items(), key=lambda kv: -kv[1])[:5]
+    dtus = []
+    for pe in system.platform.pes:
+        dtu = pe.dtu
+        if dtu.messages_sent or dtu.messages_dropped:
+            dtus.append(
+                {
+                    "node": pe.node,
+                    "sent": dtu.messages_sent,
+                    "dropped": dtu.messages_dropped,
+                    "privileged": dtu.privileged,
+                }
+            )
+    return {
+        "cycles": system.sim.now,
+        "noc": {
+            "packets": network.packets_sent,
+            "payload_bytes": network.bytes_sent,
+            "packets_injected": network.packets_injected,
+            "busiest_links": busiest,
+        },
+        "dtus": dtus,
+        "kernel": {
+            "syscalls": system.kernel.syscall_count,
+            "vpes_created": len(system.kernel.vpes),
+            "services": sorted(system.kernel.services),
+            "context_switches": system.kernel.ctxsw.switch_count,
+            "dram_free_bytes": system.kernel.memory.free_bytes,
+        },
+        "filesystems": dict(fs_items(system)),
+        "ledger": system.sim.ledger.snapshot(),
+        "serial_lines": len(system.serial_log),
+    }
+
+
+def fs_items(system: "M3System") -> list[tuple[str, dict]]:
+    """Per-filesystem-service counters as (name, dict) pairs."""
+    return [
+        (name, {
+            "requests": server.requests_served,
+            "blocks_used": server.fs.block_bitmap.used,
+            "inodes": len(server.fs.inodes),
+        })
+        for name, server in system.fs_servers.items()
+    ]
+
+
+# -- table rendering -----------------------------------------------------------
+
+
+def histogram_table(hist: "Histogram") -> str:
+    """One histogram as a bucket table with a summary title line."""
+    title = (
+        f"Histogram {hist.name} "
+        f"(n={hist.count:,}, mean={hist.mean:,.1f}, "
+        f"p50<{hist.percentile(0.5):,}, p99<{hist.percentile(0.99):,}, "
+        f"min={hist.min if hist.min is not None else '-'}, "
+        f"max={hist.max if hist.max is not None else '-'})"
+    )
+    return render_table(title, ["cycles", "count", "cum"], hist.rows())
+
+
+def histogram_summary_table(observer: "Observer") -> str:
+    """Top-level summary: one row per histogram."""
+    rows = []
+    for name in sorted(observer.histograms):
+        hist = observer.histograms[name]
+        rows.append(
+            (name, hist.count, f"{hist.mean:,.1f}",
+             hist.percentile(0.5), hist.percentile(0.99),
+             hist.max if hist.max is not None else 0)
+        )
+    return render_table(
+        "Latency histograms (cycles)",
+        ["histogram", "samples", "mean", "p50<", "p99<", "max"],
+        rows,
+    )
+
+
+def counter_table(observer: "Observer", top: int | None = None) -> str:
+    """Named counters, largest first."""
+    items = sorted(observer.counters.items(), key=lambda kv: (-kv[1], kv[0]))
+    if top is not None:
+        items = items[:top]
+    return render_table("Counters", ["counter", "value"], items)
+
+
+def utilization_table(network: "Network", top: int | None = None) -> str:
+    """Exact (unclamped) per-link utilisation over the whole run."""
+    elapsed = network.sim.now
+    rows = []
+    for (a, b), fraction in sorted(
+        network.utilization_report().items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        link = network.link(a, b)
+        rows.append(
+            (f"{a}->{b}", link.packets, link.busy_within(elapsed),
+             f"{fraction:.2%}")
+        )
+    if top is not None:
+        rows = rows[:top]
+    return render_table(
+        f"NoC link utilisation over {elapsed:,} cycles (exact)",
+        ["link", "packets", "busy cycles", "utilisation"],
+        rows,
+    )
+
+
+def link_series_table(observer: "Observer", top: int = 3) -> str:
+    """Occupancy time series (epoch boundaries) for the busiest links."""
+    busiest = sorted(
+        observer.link_series.items(),
+        key=lambda kv: (-sum(f for _t, f in kv[1]), kv[0]),
+    )[:top]
+    rows = []
+    for (a, b), series in busiest:
+        for epoch_end, fraction in series:
+            rows.append((f"{a}->{b}", epoch_end, f"{fraction:.2%}"))
+    return render_table(
+        f"Link occupancy per {observer.epoch:,}-cycle epoch (busiest {top})",
+        ["link", "epoch end", "busy"],
+        rows,
+    )
+
+
+def render(system: "M3System") -> str:
+    """The full profile report for an observed run."""
+    obs = system.sim.obs
+    if obs is None:
+        raise RuntimeError(
+            "profile.render needs observability; pass observe=True to "
+            "M3System or call enable_observability()"
+        )
+    network = system.platform.network
+    pieces = [histogram_summary_table(obs)]
+    for name in sorted(obs.histograms):
+        pieces.append(histogram_table(obs.histograms[name]))
+    pieces.append(counter_table(obs))
+    pieces.append(utilization_table(network))
+    if obs.link_series:
+        pieces.append(link_series_table(obs))
+    return "\n\n".join(pieces)
+
+
+# -- the profiled microbenchmark ----------------------------------------------
+
+
+def run() -> "M3System":
+    """A Figure-3-style micro run with observability enabled.
+
+    Performs null syscalls and a buffered file read so the report has
+    syscall-latency, message-RTT, and m3fs-request histograms plus NoC
+    link traffic; returns the finished system for inspection.
+    """
+    from repro.m3.kernel import syscalls
+    from repro.m3.lib.file import OpenFlags
+    from repro.m3.system import M3System
+    from repro.workloads.data import deterministic_bytes
+
+    system = M3System(pe_count=4, observe=True).boot()
+    system.fs_preload(
+        {"/profile.dat": deterministic_bytes("profile", PROFILE_FILE_BYTES)}
+    )
+
+    def app(env):
+        for _ in range(PROFILE_SYSCALLS):
+            yield from env.syscall(syscalls.NOOP)
+        file = yield from env.vfs.open("/profile.dat", OpenFlags.R)
+        while True:
+            chunk = yield from file.read(PROFILE_BUFFER_BYTES)
+            if not chunk:
+                break
+        yield from file.close()
+        return ()
+
+    system.run_app(app, name="profile")
+    # Flush the trailing partial epoch so the occupancy series covers
+    # the whole run.
+    system.sim.obs.sample_links(system.platform.network, force=True)
+    return system
+
+
+def main() -> str:
+    """Run the profile benchmark; write report + Chrome trace."""
+    system = run()
+    report = render(system)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "profile.txt").write_text(report + "\n")
+    export_chrome_trace(system.sim.obs, RESULTS_DIR / "fig3_micro.trace.json")
+    print(report)
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

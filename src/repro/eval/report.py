@@ -4,6 +4,10 @@ from __future__ import annotations
 
 
 def _format(value) -> str:
+    # bool is a subclass of int; check it first so flags render as
+    # True/False instead of 1/0.
+    if isinstance(value, bool):
+        return str(value)
     if isinstance(value, float):
         return f"{value:,.2f}"
     if isinstance(value, int):

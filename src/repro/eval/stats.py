@@ -3,62 +3,23 @@
 ``collect(system)`` gathers counters from every layer; ``report``
 renders them as tables.  Useful after benchmarks ("was the NoC the
 bottleneck?") and in examples.
+
+The raw collection lives in :mod:`repro.eval.profile` (which also
+renders observer histograms and link-occupancy reports); this module
+keeps the compact single-page summary.
 """
 
 from __future__ import annotations
 
 import typing
 
+from repro.eval.profile import collect, fs_items
 from repro.eval.report import render_table
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.m3.system import M3System
 
-
-def collect(system: "M3System") -> dict:
-    """All layer counters as one nested dict."""
-    network = system.platform.network
-    utilisation = network.utilization_report()
-    busiest = sorted(utilisation.items(), key=lambda kv: -kv[1])[:5]
-    dtus = []
-    for pe in system.platform.pes:
-        dtu = pe.dtu
-        if dtu.messages_sent or dtu.messages_dropped:
-            dtus.append(
-                {
-                    "node": pe.node,
-                    "sent": dtu.messages_sent,
-                    "dropped": dtu.messages_dropped,
-                    "privileged": dtu.privileged,
-                }
-            )
-    filesystems = {
-        name: {
-            "requests": server.requests_served,
-            "blocks_used": server.fs.block_bitmap.used,
-            "inodes": len(server.fs.inodes),
-        }
-        for name, server in system.fs_servers.items()
-    }
-    return {
-        "cycles": system.sim.now,
-        "noc": {
-            "packets": network.packets_sent,
-            "payload_bytes": network.bytes_sent,
-            "busiest_links": busiest,
-        },
-        "dtus": dtus,
-        "kernel": {
-            "syscalls": system.kernel.syscall_count,
-            "vpes_created": len(system.kernel.vpes),
-            "services": sorted(system.kernel.services),
-            "context_switches": system.kernel.ctxsw.switch_count,
-            "dram_free_bytes": system.kernel.memory.free_bytes,
-        },
-        "filesystems": filesystems,
-        "ledger": system.sim.ledger.snapshot(),
-        "serial_lines": len(system.serial_log),
-    }
+__all__ = ["collect", "report"]
 
 
 def report(system: "M3System") -> str:
@@ -94,7 +55,7 @@ def report(system: "M3System") -> str:
         )
     fs_rows = [
         (name, entry["requests"], entry["blocks_used"], entry["inodes"])
-        for name, entry in _fs_items(system)
+        for name, entry in fs_items(system)
     ]
     if fs_rows:
         pieces.append(
@@ -116,14 +77,3 @@ def report(system: "M3System") -> str:
             )
         )
     return "\n\n".join(pieces)
-
-
-def _fs_items(system: "M3System"):
-    return [
-        (name, {
-            "requests": server.requests_served,
-            "blocks_used": server.fs.block_bitmap.used,
-            "inodes": len(server.fs.inodes),
-        })
-        for name, server in system.fs_servers.items()
-    ]

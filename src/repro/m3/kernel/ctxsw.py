@@ -165,6 +165,11 @@ class ContextSwitcher:
         """Generator: save a yielded VPE's state and free its PE."""
         node = vpe.node
         self.switch_count += 1
+        obs = self.sim.obs
+        span = None
+        if obs is not None:
+            obs.count("kernel.ctx_switches")
+            span = obs.begin("switch_out", "ctxsw", node, vpe=vpe.id)
         yield self.sim.delay(SWITCH_KERNEL_CYCLES, tag=Tag.OS)
         # Save the SPM image to the staging area (real bytes, real time).
         if vpe.staging_addr is None:
@@ -195,6 +200,8 @@ class ContextSwitcher:
         env = self.kernel.envs.get(vpe.id)
         if env is not None:
             env.epmux.invalidate_all()
+        if span is not None:
+            obs.end(span)
         self.switching[node] = False
         self._try_dispatch(node)
 
@@ -202,6 +209,11 @@ class ContextSwitcher:
         """Generator: make a queued/saved VPE resident and (re)start it."""
         node = vpe.node
         self.switch_count += 1
+        obs = self.sim.obs
+        span = None
+        if obs is not None:
+            obs.count("kernel.ctx_switches")
+            span = obs.begin("switch_in", "ctxsw", node, vpe=vpe.id)
         yield self.sim.delay(SWITCH_KERNEL_CYCLES, tag=Tag.OS)
         if vpe.staging_addr is not None:
             image = self.kernel.platform.dram.memory.read(
@@ -214,6 +226,8 @@ class ContextSwitcher:
         vpe.resident = True
         vpe.saved = False
         self.resident[node] = vpe
+        if span is not None:
+            obs.end(span)
         self.switching[node] = False
         self.suspended.setdefault(node, set()).discard(vpe)
         if vpe.pending_entry is not None:

@@ -313,6 +313,9 @@ class Kernel:
         from repro.sim.events import first_of
 
         self.probes_sent += 1
+        if self.sim.obs is not None:
+            self.sim.obs.count("kernel.probes_sent")
+            self.sim.obs.instant("probe", "watchdog", vpe.node, vpe=vpe.id)
         probe = self.sim.process(
             self.dtu.configure_remote(vpe.node, "probe"),
             f"kernel.probe.vpe{vpe.id}",
@@ -334,6 +337,10 @@ class Kernel:
         VPEs had configured from its grants.
         """
         self.recoveries += 1
+        if self.sim.obs is not None:
+            self.sim.obs.count("kernel.recoveries")
+            self.sim.obs.instant("recover", "watchdog", vpe.node,
+                                 vpe=vpe.id, reason=reason)
         vpe.failed = True
         self.sim.ledger.mark(
             self.sim.now, Tag.FAULT,
@@ -400,6 +407,8 @@ class Kernel:
     def _handle_syscall(self, slot: int, message):
         """Generator: dispatch one syscall message and reply."""
         self.syscall_count += 1
+        obs = self.sim.obs
+        started = self.sim.now
         vpe = self.vpes.get(message.label)
         yield self.sim.delay(params.M3_KERNEL_DISPATCH_CYCLES, tag=Tag.OS)
         if vpe is None:
@@ -416,10 +425,18 @@ class Kernel:
             reply = ("err", str(exc))
         else:
             if result is NO_REPLY:
+                if obs is not None:
+                    obs.observe("kernel.syscall_cycles", self.sim.now - started)
+                    obs.complete(opcode, "syscall", self.node, started,
+                                 vpe=vpe.id, phase="deferred")
                 return
             reply = ("ok", result)
         yield self.sim.delay(params.M3_KERNEL_REPLY_CYCLES, tag=Tag.OS)
         yield self.dtu.reply(KERNEL_SYSCALL_EP, slot, reply, SYSCALL_MSG_BYTES)
+        if obs is not None:
+            obs.observe("kernel.syscall_cycles", self.sim.now - started)
+            obs.complete(opcode, "syscall", self.node, started,
+                         vpe=vpe.id, status=reply[0])
 
     def _reply(self, vpe: VpeObject, slot: int, payload) -> None:
         """Late reply to a deferred syscall (fire-and-forget).

@@ -116,6 +116,8 @@ class Env:
         error reply.
         """
         self.syscall_count += 1
+        obs = self.sim.obs
+        started = self.sim.now
         payload = (opcode, args)
         yield self.sim.delay(params.M3_SYSCALL_CLIENT_CYCLES, tag=Tag.OS)
         self.dtu.send(
@@ -126,6 +128,12 @@ class Env:
         )
         slot, reply = yield from self._await_reply()
         self.dtu.ack_message(self.EP_REPLY, slot)
+        if obs is not None:
+            # Client-observed syscall round trip: request marshalling,
+            # both DTU transfers, and the kernel's handling.
+            obs.observe("m3.syscall_rtt", self.sim.now - started)
+            obs.complete(opcode, "syscall-client", self.pe.node, started,
+                         vpe=self.vpe_id)
         status, result = reply.payload
         if status != "ok":
             raise SyscallError(result)

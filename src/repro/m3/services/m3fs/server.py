@@ -100,6 +100,8 @@ class M3fsServer:
             self.ready.succeed(self)
         while True:
             slot, message = yield from rgate.receive()
+            obs = env.sim.obs
+            started = env.sim.now
             yield env.os_work(params.M3FS_SERVER_CYCLES)
             self.requests_served += 1
             operation, args = message.payload
@@ -123,6 +125,11 @@ class M3fsServer:
                     except (FsError, AttributeError, TypeError, MemoryError) as exc:
                         response = ("err", str(exc))
             yield from rgate.reply(slot, response)
+            if obs is not None:
+                obs.count(f"m3fs.{self.service_name}.requests")
+                obs.observe("m3fs.request_cycles", env.sim.now - started)
+                obs.complete(operation, "m3fs", env.pe.node, started,
+                             service=self.service_name, status=response[0])
 
     # -- capability delegation ----------------------------------------------
 

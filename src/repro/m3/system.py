@@ -29,13 +29,15 @@ class M3System:
     def __init__(self, platform: Platform | None = None, pe_count: int = 8,
                  kernel_node: int = 0, multiplexing: bool = False,
                  auto_rebalance: bool = False, reliable: bool = False,
-                 **platform_kwargs):
+                 observe: bool = False, **platform_kwargs):
         self.platform = platform or Platform.build(pe_count, **platform_kwargs)
         if reliable:
             # Reliable (acked/retransmitted) DTU messaging — required
             # under an injected fault plan, cycle-identical paths when off.
             self.platform.enable_reliable_messaging()
         self.sim = self.platform.sim
+        if observe:
+            self.enable_observability()
         self.kernel = Kernel(self.platform, node=kernel_node)
         self.kernel.start_software = self._start_software
         self.kernel.multiplexing = multiplexing
@@ -50,6 +52,22 @@ class M3System:
         self._app_processes: list = []
         #: serial console: (cycle, vpe_id, line) records.
         self.serial_log: list = []
+
+    def enable_observability(self, **kwargs):
+        """Install a :class:`repro.obs.Observer` on the simulator.
+
+        Until this is called the instrumented components pay a single
+        branch per event and existing results stay bit-identical.
+        Returns the observer (also available as ``self.sim.obs``).
+        """
+        from repro.obs import Observer
+
+        return Observer.install(self.sim, **kwargs)
+
+    @property
+    def obs(self):
+        """The installed observer, or None when observability is off."""
+        return self.sim.obs
 
     # -- boot -----------------------------------------------------------------
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import bisect
 import math
 
 
@@ -13,9 +14,18 @@ class Link:
     request order: a link keeps the cycle at which it next becomes free
     and pushes later packets behind it, which models FIFO queueing
     contention without simulating individual flits.
+
+    Occupancy windows are granted in non-decreasing order and never
+    overlap, so the link keeps a compact merged-interval record
+    (contiguous windows collapse into one) from which
+    :meth:`busy_within` computes the exact occupancy inside any
+    ``[0, t)`` prefix — including windows that straddle or lie beyond
+    ``t``, which a bare busy-cycle counter would overcount.
     """
 
-    __slots__ = ("source", "destination", "bytes_per_cycle", "next_free", "busy_cycles", "packets")
+    __slots__ = ("source", "destination", "bytes_per_cycle", "next_free",
+                 "busy_cycles", "packets", "_window_starts", "_window_ends",
+                 "_window_cum")
 
     def __init__(self, source: int, destination: int, bytes_per_cycle: int):
         if bytes_per_cycle < 1:
@@ -26,6 +36,11 @@ class Link:
         self.next_free = 0
         self.busy_cycles = 0
         self.packets = 0
+        #: merged occupancy windows (sorted, disjoint) plus cumulative
+        #: busy cycles up to each window's end.
+        self._window_starts: list[int] = []
+        self._window_ends: list[int] = []
+        self._window_cum: list[int] = []
 
     def serialization_cycles(self, nbytes: int) -> int:
         """Cycles to push ``nbytes`` through this link."""
@@ -44,13 +59,42 @@ class Link:
         self.next_free = end
         self.busy_cycles += duration
         self.packets += 1
+        if self._window_ends and self._window_ends[-1] == start:
+            # Back-to-back with the previous window: extend it.
+            self._window_ends[-1] = end
+            self._window_cum[-1] += duration
+        else:
+            self._window_starts.append(start)
+            self._window_ends.append(end)
+            self._window_cum.append(
+                (self._window_cum[-1] if self._window_cum else 0) + duration
+            )
         return start, end
 
+    def busy_within(self, elapsed: int) -> int:
+        """Exact occupied cycles inside the window ``[0, elapsed)``."""
+        if elapsed <= 0:
+            return 0
+        # Windows whose end is <= elapsed count fully...
+        index = bisect.bisect_right(self._window_ends, elapsed)
+        busy = self._window_cum[index - 1] if index else 0
+        # ...plus the in-window prefix of a straddling reservation.
+        if (index < len(self._window_starts)
+                and self._window_starts[index] < elapsed):
+            busy += elapsed - self._window_starts[index]
+        return busy
+
     def utilization(self, elapsed: int) -> float:
-        """Fraction of ``elapsed`` cycles this link was occupied."""
+        """Exact fraction of ``[0, elapsed)`` this link was occupied.
+
+        Only occupancy inside the elapsed window counts; reservations
+        extending past (or granted beyond) ``elapsed`` contribute only
+        their in-window prefix, so the result is exact and never needs
+        clamping.
+        """
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.busy_cycles / elapsed)
+        return self.busy_within(elapsed) / elapsed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Link {self.source}->{self.destination} free@{self.next_free}>"

@@ -47,7 +47,16 @@ class Network:
         self._links: dict[tuple[int, int], Link] = {
             (a, b): Link(a, b, bytes_per_cycle) for a, b in topology.links()
         }
+        # Every node also gets a real loopback link, so same-node
+        # transfers queue, count, and report like any other traffic.
+        for node in range(topology.node_count):
+            self._links[(node, node)] = Link(node, node, bytes_per_cycle)
         self._handlers: dict[int, DeliveryHandler] = {}
+        #: injection-side counters: every packet handed to the NoC.
+        self.packets_injected = 0
+        self.bytes_injected = 0
+        #: delivery-side counters: packets that actually reached (or
+        #: will reach) their handler — faults can make these lower.
         self.packets_sent = 0
         self.bytes_sent = 0
         #: optional tracer (see :meth:`enable_tracing`).
@@ -59,11 +68,15 @@ class Network:
         self.packets_corrupted = 0
         self.packets_delayed = 0
 
-    def enable_tracing(self) -> "object":
-        """Record every packet injection; returns the Tracer."""
+    def enable_tracing(self, capacity: int | None = None) -> "object":
+        """Record every packet injection; returns the Tracer.
+
+        ``capacity`` bounds the record store with ring semantics (see
+        :class:`repro.sim.tracing.Tracer`).
+        """
         from repro.sim.tracing import Tracer
 
-        self.tracer = Tracer(self.sim, enabled=True)
+        self.tracer = Tracer(self.sim, enabled=True, capacity=capacity)
         return self.tracer
 
     # -- attachment ----------------------------------------------------------
@@ -89,11 +102,12 @@ class Network:
         wire_bytes = packet.size_bytes + PACKET_HEADER_BYTES
         now = self.sim.now
         if packet.source == packet.destination:
-            # Local loopback through the node's own router.
-            duration = self.hop_cycles + Link(
-                packet.source, packet.destination, self.bytes_per_cycle
-            ).serialization_cycles(wire_bytes)
-            return now + duration
+            # Local loopback through the node's own router: a real link,
+            # so self-traffic queues and shows up in per-link stats.
+            _start, end = self._links[(packet.source, packet.source)].reserve(
+                now + self.hop_cycles, wire_bytes
+            )
+            return end
         head_arrival = now
         completion = now
         for hop in self.router.links_on_path(packet.source, packet.destination):
@@ -108,6 +122,38 @@ class Network:
     def send(self, packet: Packet) -> int:
         """Inject ``packet``; schedule delivery; return the completion cycle."""
         completion = self.delivery_time(packet)
+        self.packets_injected += 1
+        self.bytes_injected += packet.size_bytes
+        handler = self._handlers.get(packet.destination)
+        if handler is None:
+            raise RuntimeError(
+                f"packet to node {packet.destination} but nothing is attached there"
+            )
+        verdict = "deliver"
+        if self.fault_plan is not None:
+            # The fault verdict comes first: delivered-traffic counters
+            # and the trace must record the packet's actual fate, not
+            # the pre-fault plan.
+            verdict, extra = self.fault_plan.judge(packet, self.sim.now, self)
+            if verdict == "drop":
+                # The packet burned its path reservations, then vanished;
+                # the sender still observes the nominal completion time.
+                self.packets_lost += 1
+                if self.tracer is not None:
+                    self.tracer.log(
+                        packet.kind,
+                        f"{packet.source}->{packet.destination} "
+                        f"{packet.size_bytes}B DROPPED",
+                    )
+                if self.sim.obs is not None:
+                    self._observe_packet(packet, completion, verdict)
+                return completion
+            if verdict == "corrupt":
+                packet.corrupted = True
+                self.packets_corrupted += 1
+            if extra:
+                self.packets_delayed += 1
+                completion += extra
         self.packets_sent += 1
         self.bytes_sent += packet.size_bytes
         if self.tracer is not None:
@@ -116,26 +162,24 @@ class Network:
                 f"{packet.source}->{packet.destination} "
                 f"{packet.size_bytes}B eta={completion}",
             )
-        handler = self._handlers.get(packet.destination)
-        if handler is None:
-            raise RuntimeError(
-                f"packet to node {packet.destination} but nothing is attached there"
-            )
-        if self.fault_plan is not None:
-            verdict, extra = self.fault_plan.judge(packet, self.sim.now, self)
-            if verdict == "drop":
-                # The packet burned its path reservations, then vanished;
-                # the sender still observes the nominal completion time.
-                self.packets_lost += 1
-                return completion
-            if verdict == "corrupt":
-                packet.corrupted = True
-                self.packets_corrupted += 1
-            if extra:
-                self.packets_delayed += 1
-                completion += extra
+        if self.sim.obs is not None:
+            self._observe_packet(packet, completion, verdict)
         self.sim.schedule(completion - self.sim.now, handler, packet)
         return completion
+
+    def _observe_packet(self, packet: Packet, completion: int,
+                        verdict: str) -> None:
+        """Span + counters for one injected packet (observer installed)."""
+        obs = self.sim.obs
+        obs.count("noc.packets_injected")
+        obs.count(f"noc.packets_{'delivered' if verdict != 'drop' else 'dropped'}")
+        obs.count("noc.payload_bytes", packet.size_bytes)
+        obs.complete(
+            packet.kind, "noc", packet.source, self.sim.now, completion,
+            destination=packet.destination, bytes=packet.size_bytes,
+            verdict=verdict,
+        )
+        obs.sample_links(self)
 
     def transfer(self, packet: Packet, tag: str | None = None):
         """An event that triggers when ``packet`` has been delivered.
@@ -149,7 +193,12 @@ class Network:
     # -- statistics ----------------------------------------------------------------
 
     def utilization_report(self) -> dict[tuple[int, int], float]:
-        """Per-link utilisation over the elapsed simulation time."""
+        """Exact per-link utilisation over the elapsed simulation time.
+
+        Includes loopback links (``(n, n)``) for same-node transfers;
+        only occupancy inside ``[0, now)`` counts, so values are exact
+        and never clamped.
+        """
         elapsed = self.sim.now
         return {
             key: link.utilization(elapsed)

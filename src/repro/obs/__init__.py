@@ -1,0 +1,38 @@
+"""Structured observability for the simulator.
+
+The paper's whole evaluation is cycle accounting — stacked App/Xfers/OS
+breakdowns — and PR 1's reliability machinery (retransmits, watchdog
+probes, recovery) is invisible without runtime introspection.  This
+package is the first-class observability layer:
+
+- :class:`~repro.obs.observer.Observer` — the per-simulation hub that
+  collects typed **spans** (begin/end, category, node, metadata),
+  **instant events**, and cheap **metrics** (counters, gauges, log2
+  histograms, per-link occupancy epochs).
+- :mod:`repro.obs.chrome` — exports the collected spans/instants as a
+  Chrome trace-event JSON file that loads in Perfetto /
+  ``chrome://tracing`` (PEs map to "processes", categories to
+  "threads").
+- :mod:`repro.obs.metrics` — deterministic fixed-bucket histograms
+  (powers of two, never wall-clock).
+
+Zero-overhead contract: nothing is collected unless an Observer is
+installed on the simulator (``sim.obs``); every instrumentation point
+in the NoC, DTU, kernel, and services pays exactly one attribute load
+plus one ``is None`` branch when observability is off, so all
+calibrated figures stay bit-identical.  See ``docs/observability.md``.
+"""
+
+from repro.obs.metrics import Histogram
+from repro.obs.observer import Instant, Observer, Span
+from repro.obs.chrome import trace_events, to_chrome_trace, export_chrome_trace
+
+__all__ = [
+    "Histogram",
+    "Instant",
+    "Observer",
+    "Span",
+    "trace_events",
+    "to_chrome_trace",
+    "export_chrome_trace",
+]

@@ -1,0 +1,89 @@
+"""Deterministic metric primitives: log2-bucket histograms.
+
+Buckets are fixed powers of two, so two runs of the same simulation
+produce byte-identical histograms — no wall-clock, no adaptive
+resizing.  Bucket 0 holds the value 0; bucket ``b`` (b >= 1) holds the
+half-open range ``[2^(b-1), 2^b)``.  64 buckets cover every cycle
+count a simulation can reasonably produce.
+"""
+
+from __future__ import annotations
+
+BUCKET_COUNT = 64
+
+
+class Histogram:
+    """A log2-bucket histogram of non-negative integer samples."""
+
+    __slots__ = ("name", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.counts = [0] * BUCKET_COUNT
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+
+    def observe(self, value: int) -> None:
+        """Record one sample."""
+        value = int(value)
+        if value < 0:
+            raise ValueError(f"histogram samples must be >= 0, got {value}")
+        self.counts[min(value.bit_length(), BUCKET_COUNT - 1)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @staticmethod
+    def bucket_bounds(index: int) -> tuple[int, int]:
+        """Half-open ``[low, high)`` range of bucket ``index``."""
+        if not (0 <= index < BUCKET_COUNT):
+            raise ValueError(f"bucket {index} out of range")
+        if index == 0:
+            return (0, 1)
+        return (1 << (index - 1), 1 << index)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> int:
+        """Upper bound of the bucket containing the given quantile.
+
+        Deterministic and conservative: the true value is strictly below
+        the returned bound.  Returns 0 on an empty histogram.
+        """
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self.count:
+            return 0
+        threshold = fraction * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if bucket_count and seen >= threshold:
+                return self.bucket_bounds(index)[1]
+        return self.bucket_bounds(BUCKET_COUNT - 1)[1]  # pragma: no cover
+
+    def rows(self) -> list[tuple[str, int, str]]:
+        """(range, count, cumulative%) rows for non-empty buckets."""
+        out = []
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            seen += bucket_count
+            low, high = self.bucket_bounds(index)
+            out.append(
+                (f"[{low:,}, {high:,})", bucket_count,
+                 f"{seen / self.count:.1%}")
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Histogram {self.name!r} n={self.count} "
+                f"min={self.min} max={self.max}>")

@@ -1,0 +1,201 @@
+"""The Observer: the simulation-wide collection hub.
+
+One Observer is installed per simulator (``sim.obs``); every
+instrumented component — NoC, DTU, kernel, services — reads that
+attribute and pays one ``is None`` branch when observability is off.
+
+Collected data:
+
+- **spans** — typed intervals ``(name, category, node, begin, end,
+  args)``; either opened with :meth:`Observer.begin` / closed with
+  :meth:`Observer.end`, or recorded retroactively with
+  :meth:`Observer.complete` (natural in a discrete-event model where
+  the completion cycle is known at injection time).
+- **instants** — point events (a retransmit, a watchdog probe).
+- **counters / gauges / histograms** — cheap named metrics; histograms
+  use the deterministic log2 buckets of :mod:`repro.obs.metrics`.
+- **link occupancy epochs** — per-link busy fraction sampled on fixed
+  epoch boundaries, driven lazily from packet injections so the
+  sampler never keeps the event queue alive.
+
+Span/instant storage is optionally bounded (ring semantics with a
+dropped-record counter) so long fault sweeps cannot grow without
+bound.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import typing
+
+from repro.obs.metrics import Histogram
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.network import Network
+    from repro.sim.engine import Simulator
+
+#: default link-occupancy sampling period in cycles.
+DEFAULT_EPOCH = 10_000
+
+
+class Span(typing.NamedTuple):
+    name: str
+    category: str
+    node: int
+    begin: int
+    end: int
+    args: dict | None
+
+
+class Instant(typing.NamedTuple):
+    name: str
+    category: str
+    node: int
+    time: int
+    args: dict | None
+
+
+class Observer:
+    """Collects spans, instants, and metrics for one simulation."""
+
+    def __init__(self, sim: "Simulator", span_capacity: int | None = None,
+                 epoch: int = DEFAULT_EPOCH):
+        if span_capacity is not None and span_capacity < 1:
+            raise ValueError("span capacity must be positive")
+        if epoch < 1:
+            raise ValueError("epoch must be positive")
+        self.sim = sim
+        self.span_capacity = span_capacity
+        self._spans: collections.deque = collections.deque(maxlen=span_capacity)
+        self._instants: collections.deque = collections.deque(maxlen=span_capacity)
+        self.spans_dropped = 0
+        self.instants_dropped = 0
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        #: (source, destination) -> [(epoch_end_cycle, busy_fraction)].
+        self.link_series: dict[tuple, list[tuple[int, float]]] = {}
+        self.epoch = epoch
+        self._next_epoch = epoch
+        self._open: dict[int, tuple] = {}
+        self._span_ids = itertools.count(1)
+
+    # -- installation ----------------------------------------------------
+
+    @classmethod
+    def install(cls, sim: "Simulator", **kwargs) -> "Observer":
+        """Create an Observer and hook it onto ``sim.obs``."""
+        if sim.obs is not None:
+            raise RuntimeError("simulator already has an observer installed")
+        observer = cls(sim, **kwargs)
+        sim.obs = observer
+        return observer
+
+    # -- spans -----------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    @property
+    def instants(self) -> list[Instant]:
+        return list(self._instants)
+
+    def begin(self, name: str, category: str, node: int = -1, **args) -> int:
+        """Open a span at the current cycle; returns its id."""
+        span_id = next(self._span_ids)
+        self._open[span_id] = (name, category, node, self.sim.now,
+                               args or None)
+        return span_id
+
+    def end(self, span_id: int, **args) -> Span:
+        """Close an open span at the current cycle."""
+        name, category, node, begin, begin_args = self._open.pop(span_id)
+        merged = begin_args
+        if args:
+            merged = {**(begin_args or {}), **args}
+        return self._store_span(
+            Span(name, category, node, begin, self.sim.now, merged)
+        )
+
+    def complete(self, name: str, category: str, node: int, begin: int,
+                 end: int | None = None, **args) -> Span:
+        """Record a span whose begin (and optionally end) is already known."""
+        return self._store_span(
+            Span(name, category, node, begin,
+                 self.sim.now if end is None else end, args or None)
+        )
+
+    def _store_span(self, span: Span) -> Span:
+        if (self.span_capacity is not None
+                and len(self._spans) == self.span_capacity):
+            self.spans_dropped += 1
+        self._spans.append(span)
+        return span
+
+    def instant(self, name: str, category: str, node: int = -1, **args) -> None:
+        """Record a point event at the current cycle."""
+        if (self.span_capacity is not None
+                and len(self._instants) == self.span_capacity):
+            self.instants_dropped += 1
+        self._instants.append(
+            Instant(name, category, node, self.sim.now, args or None)
+        )
+
+    # -- metrics -----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a named counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value) -> None:
+        """Set a named gauge to its latest value."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: int) -> None:
+        """Record a sample into a named histogram."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(name)
+        hist.observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram (empty if nothing was observed)."""
+        return self.histograms.get(name) or Histogram(name)
+
+    # -- link occupancy epochs ----------------------------------------------
+
+    def sample_links(self, network: "Network", force: bool = False) -> None:
+        """Fold completed epochs into the per-link occupancy series.
+
+        Called from :meth:`Network.send` whenever observability is on,
+        so sampling advances with traffic and never schedules anything
+        (a recurring timer would keep the event queue alive forever).
+        With ``force``, the trailing partial epoch is flushed too (for
+        end-of-run reports).
+        """
+        now = self.sim.now
+        while self._next_epoch <= now:
+            self._record_epoch(network, self._next_epoch - self.epoch,
+                               self._next_epoch)
+            self._next_epoch += self.epoch
+        if force and now > self._next_epoch - self.epoch:
+            self._record_epoch(network, self._next_epoch - self.epoch, now)
+
+    def _record_epoch(self, network: "Network", start: int, end: int) -> None:
+        span = end - start
+        for key, link in network._links.items():
+            if not link.packets:
+                continue
+            busy = link.busy_within(end) - link.busy_within(start)
+            if busy:
+                self.link_series.setdefault(key, []).append(
+                    (end, busy / span)
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Observer spans={len(self._spans)} "
+                f"instants={len(self._instants)} "
+                f"counters={len(self.counters)} "
+                f"histograms={len(self.histograms)}>")

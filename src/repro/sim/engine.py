@@ -24,6 +24,9 @@ class Simulator:
         self._sequence = itertools.count()
         self.ledger = TimeLedger()
         self._processes: list[Process] = []
+        #: optional observability hub (see :mod:`repro.obs`); with None
+        #: installed, instrumented components pay one branch per event.
+        self.obs = None
 
     # -- scheduling --------------------------------------------------------
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import collections
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -15,27 +16,47 @@ class TraceRecord(typing.NamedTuple):
 
 
 class Tracer:
-    """Collects timestamped records; disabled tracers cost one branch."""
+    """Collects timestamped records; disabled tracers cost one branch.
 
-    def __init__(self, sim: "Simulator", enabled: bool = False):
+    ``capacity`` bounds the stored records with ring semantics: once
+    full, each new record evicts the oldest and bumps
+    :attr:`dropped_records` — long fault sweeps keep the newest history
+    instead of growing without bound.
+    """
+
+    def __init__(self, sim: "Simulator", enabled: bool = False,
+                 capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("tracer capacity must be positive")
         self.sim = sim
         self.enabled = enabled
-        self.records: list[TraceRecord] = []
+        self.capacity = capacity
+        self._records: collections.deque = collections.deque(maxlen=capacity)
+        self.dropped_records = 0
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The retained records, oldest first."""
+        return list(self._records)
 
     def log(self, category: str, text: str) -> None:
         """Record ``text`` under ``category`` at the current cycle."""
         if self.enabled:
-            self.records.append(TraceRecord(self.sim.now, category, text))
+            if (self.capacity is not None
+                    and len(self._records) == self.capacity):
+                self.dropped_records += 1
+            self._records.append(TraceRecord(self.sim.now, category, text))
 
     def filter(self, category: str) -> list[TraceRecord]:
-        """All records of one category."""
-        return [r for r in self.records if r.category == category]
+        """All retained records of one category."""
+        return [r for r in self._records if r.category == category]
 
     def clear(self) -> None:
-        self.records.clear()
+        self._records.clear()
+        self.dropped_records = 0
 
     def render(self) -> str:
         """Human-readable dump of the trace."""
         return "\n".join(
-            f"[{r.time:>10}] {r.category:<12} {r.text}" for r in self.records
+            f"[{r.time:>10}] {r.category:<12} {r.text}" for r in self._records
         )

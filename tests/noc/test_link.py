@@ -70,3 +70,39 @@ def test_reservations_never_overlap(requests):
         assert s1 < e1 and s2 < e2
     # Busy time equals the sum of window lengths.
     assert link.busy_cycles == sum(e - s for s, e in windows)
+
+
+def test_utilization_is_exact_within_elapsed_window():
+    link = Link(0, 1, bytes_per_cycle=8)
+    link.reserve(100, 80)  # busy [100, 110)
+    # The whole reservation lies in the future of cycle 50: no busy time
+    # may be counted (the old implementation counted it all, then clamped).
+    assert link.utilization(50) == 0.0
+    assert link.busy_within(50) == 0
+    # A straddling window counts only its overlap with [0, elapsed).
+    assert link.busy_within(105) == 5
+    assert link.utilization(105) == pytest.approx(5 / 105)
+    # Past the window the full 10 cycles count.
+    assert link.busy_within(200) == 10
+    assert link.utilization(200) == pytest.approx(10 / 200)
+
+
+def test_utilization_never_exceeds_one():
+    link = Link(0, 1, bytes_per_cycle=8)
+    for _ in range(10):
+        link.reserve(0, 80)  # back-to-back [0, 100)
+    for elapsed in (1, 5, 50, 99, 100, 1000):
+        assert 0.0 < link.utilization(elapsed) <= 1.0
+    assert link.utilization(50) == pytest.approx(1.0)
+
+
+def test_busy_within_merges_contiguous_windows():
+    link = Link(0, 1, bytes_per_cycle=8)
+    link.reserve(0, 40)    # [0, 5)
+    link.reserve(0, 40)    # [5, 10) - contiguous, merged internally
+    link.reserve(20, 40)   # [20, 25) - a gap before it
+    assert link.busy_within(10) == 10
+    assert link.busy_within(15) == 10
+    assert link.busy_within(22) == 12
+    assert link.busy_within(30) == 15
+    assert link.busy_cycles == 15

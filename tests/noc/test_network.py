@@ -107,3 +107,53 @@ def test_utilization_report_only_lists_used_links():
     report = net.utilization_report()
     assert set(report) == {(0, 1)}
     assert 0 < report[(0, 1)] <= 1.0
+
+
+def test_loopback_uses_a_real_link():
+    sim, net = _network(hop=3, bw=8)
+    net.attach(0, lambda p: None)
+    net.send(Packet(0, 0, "message", 64))
+    sim.run()
+    # Self-traffic shows up in per-link stats like any other traffic.
+    link = net.link(0, 0)
+    assert link.packets == 1
+    assert (0, 0) in net.utilization_report()
+
+
+def test_loopback_traffic_queues():
+    sim, net = _network(hop=3, bw=8)
+    arrivals = []
+    net.attach(0, lambda p: arrivals.append(sim.now))
+    size = 8 * 10 - PACKET_HEADER_BYTES  # 10 serialisation cycles
+    net.send(Packet(0, 0, "message", size))
+    net.send(Packet(0, 0, "message", size))
+    sim.run()
+    # Second packet waits for the loopback link, just like a wire.
+    assert arrivals == [13, 23]
+
+
+def test_fault_verdict_precedes_delivery_counters():
+    from repro.faults.plan import FaultPlan
+
+    sim, net = _network(hop=0, bw=8)
+    delivered = []
+    net.attach(1, delivered.append)
+    FaultPlan(seed=7).drop(1.0).install(net)
+    net.send(Packet(0, 1, "message", 64))
+    sim.run()
+    # The packet was injected but never delivered: the injection
+    # counters record it, the delivery counters do not.
+    assert delivered == []
+    assert net.packets_injected == 1 and net.bytes_injected == 64
+    assert net.packets_sent == 0 and net.bytes_sent == 0
+    assert net.packets_lost == 1
+
+
+def test_counters_agree_without_faults():
+    sim, net = _network()
+    net.attach(3, lambda p: None)
+    net.send(Packet(0, 3, "message", 64))
+    net.send(Packet(0, 3, "message", 32))
+    sim.run()
+    assert net.packets_injected == net.packets_sent == 2
+    assert net.bytes_injected == net.bytes_sent == 96

@@ -1,0 +1,66 @@
+"""Log2-bucket histograms: bucket maths and deterministic summaries."""
+
+import pytest
+
+from repro.obs.metrics import BUCKET_COUNT, Histogram
+
+
+def test_bucket_bounds_partition_the_integers():
+    assert Histogram.bucket_bounds(0) == (0, 1)
+    previous_high = 1
+    for index in range(1, BUCKET_COUNT):
+        low, high = Histogram.bucket_bounds(index)
+        assert low == previous_high  # contiguous, no gaps
+        assert high == 2 * low
+        previous_high = high
+
+
+def test_samples_land_in_their_bucket():
+    hist = Histogram("t")
+    for value in (0, 1, 2, 3, 4, 7, 8, 1023, 1024):
+        hist.observe(value)
+    assert hist.counts[0] == 1  # {0}
+    assert hist.counts[1] == 1  # [1, 2)
+    assert hist.counts[2] == 2  # [2, 4)
+    assert hist.counts[3] == 2  # [4, 8)
+    assert hist.counts[4] == 1  # [8, 16)
+    assert hist.counts[10] == 1  # [512, 1024)
+    assert hist.counts[11] == 1  # [1024, 2048)
+    assert hist.count == 9
+    assert hist.min == 0 and hist.max == 1024
+
+
+def test_huge_values_clamp_to_last_bucket():
+    hist = Histogram()
+    hist.observe(1 << 200)
+    assert hist.counts[BUCKET_COUNT - 1] == 1
+
+
+def test_negative_sample_rejected():
+    with pytest.raises(ValueError):
+        Histogram().observe(-1)
+
+
+def test_mean_and_percentiles():
+    hist = Histogram()
+    assert hist.mean == 0.0
+    assert hist.percentile(0.5) == 0
+    for value in (10, 20, 30, 40):
+        hist.observe(value)
+    assert hist.mean == 25.0
+    # p50 falls in [16, 32); the bound returned is the bucket's top.
+    assert hist.percentile(0.5) == 32
+    assert hist.percentile(1.0) == 64
+    with pytest.raises(ValueError):
+        hist.percentile(1.5)
+
+
+def test_rows_only_nonempty_buckets_with_cumulative_share():
+    hist = Histogram()
+    hist.observe(1)
+    hist.observe(1000)
+    rows = hist.rows()
+    assert rows == [
+        ("[1, 2)", 1, "50.0%"),
+        ("[512, 1,024)", 1, "100.0%"),
+    ]

@@ -1,0 +1,90 @@
+"""The Observer hub: spans, metrics, capacity, and epoch sampling."""
+
+import pytest
+
+from repro.noc import MeshTopology, Network, Packet
+from repro.obs import Observer
+from repro.sim import Simulator
+
+
+def test_install_hooks_sim_obs_once():
+    sim = Simulator()
+    assert sim.obs is None
+    observer = Observer.install(sim)
+    assert sim.obs is observer
+    with pytest.raises(RuntimeError):
+        Observer.install(sim)
+
+
+def test_begin_end_span_with_merged_args():
+    sim = Simulator()
+    obs = Observer.install(sim)
+    span_id = obs.begin("switch", "ctxsw", node=2, vpe=7)
+    sim.schedule(100, lambda _: obs.end(span_id, outcome="ok"))
+    sim.run()
+    (span,) = obs.spans
+    assert span.name == "switch" and span.category == "ctxsw"
+    assert span.node == 2
+    assert (span.begin, span.end) == (0, 100)
+    assert span.args == {"vpe": 7, "outcome": "ok"}
+
+
+def test_complete_records_retroactively():
+    sim = Simulator()
+    obs = Observer.install(sim)
+    sim.schedule(50, lambda _: obs.complete("pkt", "noc", 1, 10, 40))
+    sim.run()
+    (span,) = obs.spans
+    assert (span.begin, span.end) == (10, 40)
+
+
+def test_counters_gauges_histograms():
+    obs = Observer(Simulator())
+    obs.count("a")
+    obs.count("a", 4)
+    obs.gauge("depth", 3)
+    obs.observe("lat", 100)
+    obs.observe("lat", 200)
+    assert obs.counters == {"a": 5}
+    assert obs.gauges == {"depth": 3}
+    assert obs.histogram("lat").count == 2
+    assert obs.histogram("missing").count == 0  # empty, not KeyError
+
+
+def test_span_capacity_rings_and_counts_drops():
+    obs = Observer(Simulator(), span_capacity=2)
+    for index in range(5):
+        obs.complete(f"s{index}", "cat", -1, index, index + 1)
+        obs.instant(f"i{index}", "cat")
+    assert [s.name for s in obs.spans] == ["s3", "s4"]
+    assert obs.spans_dropped == 3
+    assert [i.name for i in obs.instants] == ["i3", "i4"]
+    assert obs.instants_dropped == 3
+    with pytest.raises(ValueError):
+        Observer(Simulator(), span_capacity=0)
+
+
+def test_link_epoch_sampling_is_lazy_and_flushable():
+    sim = Simulator()
+    obs = Observer.install(sim, epoch=100)
+    network = Network(sim, MeshTopology(2, 1), hop_cycles=1, bytes_per_cycle=1)
+    network.attach(0, lambda packet: None)
+    network.attach(1, lambda packet: None)
+
+    def traffic():
+        yield network.transfer(Packet(0, 1, "msg", 34))  # 50 wire bytes
+        yield sim.delay(300)
+        yield network.transfer(Packet(0, 1, "msg", 34))
+
+    sim.run_process(traffic(), "traffic")
+    sim.run()
+    # The second send (cycle ~351) folded the completed epochs in.
+    series = obs.link_series[(0, 1)]
+    assert series and all(end % 100 == 0 for end, _f in series)
+    assert all(0.0 < fraction <= 1.0 for _end, fraction in series)
+    before = len(series)
+    obs.sample_links(network, force=True)
+    # The trailing partial epoch (the second transfer) is flushed on
+    # demand for end-of-run reports.
+    assert len(obs.link_series[(0, 1)]) > before
+    assert obs.link_series[(0, 1)][-1][0] == sim.now

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import Mailbox, Semaphore, Signal, Simulator
+from repro.sim.resources import WaitTimeout
 
 
 def test_mailbox_get_before_put_blocks():
@@ -144,3 +145,61 @@ def test_signal_is_rearmable():
     sim.process(firer(), "f")
     sim.run()
     assert hits == [10, 20, 30]
+
+
+def test_signal_fire_wins_same_cycle_race():
+    """fire() and a wait's timeout expiring on the same cycle, fire
+    scheduled first: the waiter wakes normally and the late expiry
+    callback must not corrupt the waiter list."""
+    sim = Simulator()
+    sig = Signal(sim)
+    outcome = []
+
+    sim.schedule(50, lambda _: sig.fire("go"))  # queued before expire
+
+    def waiter():
+        try:
+            value = yield sig.wait(timeout=50)
+            outcome.append(("woken", value, sim.now))
+        except WaitTimeout:
+            outcome.append(("timeout", sim.now))
+
+    sim.process(waiter(), "w")
+    sim.run()  # drains the queue, running the no-op expiry too
+    assert outcome == [("woken", "go", 50)]
+    assert sig.waiting == 0
+
+
+def test_signal_timeout_wins_same_cycle_race():
+    """The mirror ordering: the expiry callback runs first, the fire on
+    the same cycle second.  The waiter times out, the fire wakes nobody,
+    and the signal stays usable afterwards."""
+    sim = Simulator()
+    sig = Signal(sim)
+    outcome = []
+
+    def waiter():
+        try:
+            value = yield sig.wait(timeout=50)
+            outcome.append(("woken", value, sim.now))
+        except WaitTimeout:
+            outcome.append(("timeout", sim.now))
+
+    sim.process(waiter(), "w")  # starts at t=0, queues expire for t=50
+    # Queue the fire for t=50 *after* the expire (nested schedule runs
+    # at t=0 once the waiter process has started).
+    sim.schedule(0, lambda _: sim.schedule(50, lambda _: sig.fire("late")))
+    sim.run()
+    assert outcome == [("timeout", 50)]
+    assert sig.waiting == 0  # the waiter list was not corrupted
+
+    # A fresh wait on the same signal still works.
+    woken = []
+
+    def late_waiter():
+        woken.append((yield sig.wait()))
+
+    sim.process(late_waiter(), "late")
+    sim.schedule(10, lambda _: sig.fire("again"))
+    sim.run()
+    assert woken == ["again"]

@@ -1,5 +1,7 @@
 """The tracer utility."""
 
+import pytest
+
 from repro.sim import Simulator
 from repro.sim.tracing import Tracer
 
@@ -24,3 +26,30 @@ def test_records_carry_time_and_category():
     assert "alpha" in tracer.render()
     tracer.clear()
     assert tracer.records == []
+
+
+def test_capacity_rings_and_counts_drops():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True, capacity=3)
+    for index in range(5):
+        tracer.log("cat", f"r{index}")
+    # Oldest records fall off the front; the drop counter says how many.
+    assert [r.text for r in tracer.records] == ["r2", "r3", "r4"]
+    assert tracer.dropped_records == 2
+    assert len(tracer.filter("cat")) == 3
+    tracer.clear()
+    assert tracer.records == [] and tracer.dropped_records == 0
+
+
+def test_unbounded_by_default():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    for index in range(100):
+        tracer.log("cat", str(index))
+    assert len(tracer.records) == 100
+    assert tracer.dropped_records == 0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(Simulator(), capacity=0)
