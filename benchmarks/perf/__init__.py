@@ -1,0 +1,8 @@
+"""Wall-clock performance harness for the simulator itself.
+
+Unlike ``benchmarks/`` (which asserts *simulated* results against the
+paper), this package measures how fast the simulator runs on the host:
+raw engine throughput in simulated cycles per wall-clock second, and
+per-figure wall time for the evaluation suite.  ``harness.py`` writes
+and checks the committed ``BENCH_perf.json`` baseline at the repo root.
+"""

@@ -1,0 +1,213 @@
+"""Measure simulator wall-clock performance; write/check BENCH_perf.json.
+
+Two measurements:
+
+- **Engine throughput**: a synthetic workload of communicating
+  processes (mailbox ping-pong rings plus timer churn) run on a bare
+  :class:`repro.sim.Simulator`; reported as simulated cycles per
+  wall-clock second and executed callbacks per second.
+- **Per-figure wall time**: every evaluation output (each figure,
+  each ablation sweep, the Figure-6 point sweep, the profile run)
+  timed individually through the same workers ``repro.eval.runall``
+  uses, plus the suite total.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m benchmarks.perf.harness --write
+    PYTHONPATH=src python -m benchmarks.perf.harness --check
+
+``--write`` refreshes the committed ``BENCH_perf.json`` baseline;
+``--check`` exits non-zero if the engine throughput drops, or the
+total wall time grows, by more than ``--tolerance`` (default 30%)
+against the baseline.  Per-figure times are reported in the check
+output but only the aggregate numbers gate, because individual small
+figures are too noisy on shared CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.eval import ablations, fig6_scale, runall
+from repro.sim import Mailbox, Simulator
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / "BENCH_perf.json"
+
+#: engine workload geometry: RINGS independent mailbox rings of WIDTH
+#: processes each, passing a token HOPS times with a 3-cycle delay per
+#: hop, plus one timer process per ring churning Signal timeouts.
+ENGINE_RINGS = 8
+ENGINE_WIDTH = 4
+ENGINE_HOPS = 4_000
+SCHEMA_VERSION = 1
+
+
+# -- engine throughput ---------------------------------------------------------
+
+
+def _ring(sim: Simulator, ring: int, counters: list) -> None:
+    mailboxes = [
+        Mailbox(sim, f"ring{ring}.mbox{i}") for i in range(ENGINE_WIDTH)
+    ]
+
+    def stage(this: int):
+        nxt = mailboxes[(this + 1) % ENGINE_WIDTH]
+        while True:
+            token = yield mailboxes[this].get()
+            counters[0] += 1
+            if token == 0:
+                return
+            yield sim.delay(3)
+            nxt.put(token - 1 if this == ENGINE_WIDTH - 1 else token)
+
+    for index in range(ENGINE_WIDTH):
+        sim.process(stage(index), name=f"r{ring}s{index}")
+    mailboxes[0].put(ENGINE_HOPS)
+
+
+def engine_workload() -> tuple[int, int]:
+    """Run the synthetic workload; (simulated cycles, tokens passed)."""
+    sim = Simulator()
+    counters = [0]
+    for ring in range(ENGINE_RINGS):
+        _ring(sim, ring, counters)
+    sim.run()
+    return sim.now, counters[0]
+
+
+def measure_engine() -> dict:
+    start = time.perf_counter()
+    cycles, tokens = engine_workload()
+    elapsed = time.perf_counter() - start
+    return {
+        "simulated_cycles": cycles,
+        "wall_seconds": round(elapsed, 4),
+        "sim_cycles_per_second": round(cycles / elapsed, 1),
+        "token_hops": tokens,
+    }
+
+
+# -- per-figure wall time ------------------------------------------------------
+
+
+def measure_figures() -> dict:
+    """Wall seconds per evaluation output, via the runall workers."""
+    timings: dict[str, float] = {}
+    for name in sorted(runall._FIGURES):
+        start = time.perf_counter()
+        runall._FIGURES[name]()
+        timings[name] = round(time.perf_counter() - start, 3)
+    for name in sorted(ablations.BENCH_SWEEPS):
+        sweep, table = ablations.BENCH_SWEEPS[name]
+        start = time.perf_counter()
+        table(sweep())
+        timings[name] = round(time.perf_counter() - start, 3)
+    start = time.perf_counter()
+    for benchmark in runall.FIG6_BENCHMARKS:
+        for count in runall.FIG6_INSTANCE_COUNTS:
+            fig6_scale.average_instance_time(benchmark, count)
+    timings["fig6_scale"] = round(time.perf_counter() - start, 3)
+    return timings
+
+
+def measure() -> dict:
+    engine = measure_engine()
+    figures = measure_figures()
+    return {
+        "schema": SCHEMA_VERSION,
+        "engine": engine,
+        "figures": figures,
+        "total_seconds": round(sum(figures.values()), 3),
+    }
+
+
+# -- baseline write/check ------------------------------------------------------
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regressions beyond ``tolerance``; empty means the gate passes."""
+    failures = []
+    old_rate = baseline["engine"]["sim_cycles_per_second"]
+    new_rate = current["engine"]["sim_cycles_per_second"]
+    if new_rate < old_rate * (1.0 - tolerance):
+        failures.append(
+            f"engine throughput regressed: {new_rate:,.0f} vs baseline "
+            f"{old_rate:,.0f} sim cycles/s (tolerance {tolerance:.0%})"
+        )
+    old_total = baseline["total_seconds"]
+    new_total = current["total_seconds"]
+    if new_total > old_total * (1.0 + tolerance):
+        failures.append(
+            f"figure suite regressed: {new_total:.2f}s vs baseline "
+            f"{old_total:.2f}s (tolerance {tolerance:.0%})"
+        )
+    return failures
+
+
+def report(current: dict, baseline: dict | None) -> str:
+    lines = [
+        f"engine: {current['engine']['sim_cycles_per_second']:,.0f} "
+        f"sim cycles/s over {current['engine']['simulated_cycles']:,} "
+        f"cycles",
+    ]
+    for name, seconds in sorted(current["figures"].items()):
+        line = f"  {name:<20s} {seconds:7.3f}s"
+        if baseline is not None and name in baseline.get("figures", {}):
+            line += f"  (baseline {baseline['figures'][name]:.3f}s)"
+        lines.append(line)
+    lines.append(f"total figure wall time: {current['total_seconds']:.3f}s")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf.harness",
+        description="Measure simulator wall-clock performance.",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--write", action="store_true",
+        help=f"write the measurement to {BASELINE_PATH.name}",
+    )
+    mode.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional regression for --check (default 0.30)",
+    )
+    options = parser.parse_args(argv)
+
+    baseline = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+
+    current = measure()
+    print(report(current, baseline if options.check else None))
+
+    if options.write:
+        BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+    if options.check:
+        if baseline is None:
+            print(f"no baseline at {BASELINE_PATH}; run with --write first",
+                  file=sys.stderr)
+            return 2
+        failures = check(current, baseline, options.tolerance)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,6 @@ See :mod:`repro.eval.ablations` for what each sweep probes.
 """
 
 from repro.eval import ablations
-from repro.eval.report import render_table
 from benchmarks.conftest import write_result
 
 
@@ -20,9 +19,8 @@ def test_buffer_size_sweep(benchmark, results_dir):
     first_gain = times[0] - times[1]
     last_gain = times[-2] - times[-1]
     assert last_gain < first_gain / 4
-    write_result(results_dir, "abl_buffer_size", render_table(
-        "Ablation: read buffer size (1 MiB file)",
-        ["buffer bytes", "cycles"], rows))
+    write_result(results_dir, "abl_buffer_size",
+                 ablations.buffer_size_table(rows))
 
 
 def test_pipe_slot_sweep(benchmark, results_dir):
@@ -32,9 +30,8 @@ def test_pipe_slot_sweep(benchmark, results_dir):
     by_slots = dict(rows)
     assert by_slots[1] > by_slots[4] > by_slots[8] * 0.99
     assert by_slots[1] / by_slots[16] > 1.5  # pipelining pays
-    write_result(results_dir, "abl_pipe_slots", render_table(
-        "Ablation: pipe ring slots (256 KiB transfer)",
-        ["slots", "cycles"], rows))
+    write_result(results_dir, "abl_pipe_slots",
+                 ablations.pipe_slot_table(rows))
 
 
 def test_hop_latency_sweep(benchmark, results_dir):
@@ -47,9 +44,8 @@ def test_hop_latency_sweep(benchmark, results_dir):
     # Even a slow NoC keeps the syscall well under Linux's 410 cycles:
     # the software path dominates, not the wire.
     assert times[-1] < 410
-    write_result(results_dir, "abl_hop_latency", render_table(
-        "Ablation: NoC hop latency vs syscall cost",
-        ["hop cycles", "syscall cycles"], rows))
+    write_result(results_dir, "abl_hop_latency",
+                 ablations.hop_latency_table(rows))
 
 
 def test_placement_sweep(benchmark, results_dir):
@@ -59,9 +55,8 @@ def test_placement_sweep(benchmark, results_dir):
     times = [cycles for _node, cycles in rows]
     assert times[-1] > times[0]
     assert all(a <= b for a, b in zip(times, times[1:]))
-    write_result(results_dir, "abl_placement", render_table(
-        "Ablation: app placement vs syscall cost",
-        ["app node", "syscall cycles"], rows))
+    write_result(results_dir, "abl_placement",
+                 ablations.placement_table(rows))
 
 
 def test_multiplexing_tradeoff(benchmark, results_dir):
@@ -77,11 +72,8 @@ def test_multiplexing_tradeoff(benchmark, results_dir):
     assert shared["switches"] >= 2 * ablations.WORKER_COUNT
     # But it is not pathological: bounded by serialisation + switches.
     assert shared["wall"] < 8 * dedicated["wall"]
-    write_result(results_dir, "abl_multiplexing", render_table(
-        "Ablation: dedicated PEs vs one multiplexed PE (4 workers)",
-        ["configuration", "wall cycles", "PEs"],
-        [("dedicated", dedicated["wall"], dedicated["pes"]),
-         ("shared+ctxsw", shared["wall"], shared["pes"])]))
+    write_result(results_dir, "abl_multiplexing",
+                 ablations.multiplexing_table(trade))
 
 
 def test_cache_vs_bulk(benchmark, results_dir):
@@ -91,13 +83,7 @@ def test_cache_vs_bulk(benchmark, results_dir):
                                  iterations=1)
     assert results["stream_bulk"] < results["stream_cached"] / 5
     assert results["hot_cached"] < results["hot_bulk"]
-    write_result(results_dir, "abl_cache", render_table(
-        "Ablation: SPM+bulk transfers vs cache (cycles)",
-        ["pattern", "bulk DTU", "cached"],
-        [("stream 64 KiB once", results["stream_bulk"],
-          results["stream_cached"]),
-         ("2 KiB hot set x32", results["hot_bulk"],
-          results["hot_cached"])]))
+    write_result(results_dir, "abl_cache", ablations.cache_table(results))
 
 
 def test_multi_fs_instances(benchmark, results_dir):
@@ -108,6 +94,5 @@ def test_multi_fs_instances(benchmark, results_dir):
     by_servers = dict(rows)
     assert by_servers[2] < 0.7 * by_servers[1]
     assert by_servers[4] < by_servers[2]
-    write_result(results_dir, "abl_multi_fs", render_table(
-        "Ablation: 16x find vs number of m3fs instances",
-        ["m3fs instances", "avg cycles/instance"], rows))
+    write_result(results_dir, "abl_multi_fs",
+                 ablations.multi_fs_table(rows))

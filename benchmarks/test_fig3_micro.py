@@ -34,20 +34,4 @@ def test_fig3_micro(benchmark, results_dir):
     # Write is more expensive than read on Linux (block zeroing).
     assert results["write"]["Lx"]["total"] > results["read"]["Lx"]["total"]
 
-    rows = []
-    for op, systems in results.items():
-        for name in ("M3", "Lx-$", "Lx"):
-            entry = systems[name]
-            rows.append((op, name, entry["total"], entry["xfers"],
-                         entry["other"]))
-    from repro.eval.report import render_table
-
-    write_result(
-        results_dir,
-        "fig3_micro",
-        render_table(
-            "Figure 3: system calls and file operations (cycles)",
-            ["op", "system", "total", "xfers", "other"],
-            rows,
-        ),
-    )
+    write_result(results_dir, "fig3_micro", fig3_micro.bench_table(results))

@@ -30,14 +30,4 @@ def test_fig4_extents(benchmark, results_dir):
     assert by_blocks[256][1] < 1.06 * by_blocks[2048][1]
     assert params.M3FS_APPEND_BLOCKS == 256
 
-    from repro.eval.report import render_table
-
-    write_result(
-        results_dir,
-        "fig4_extents",
-        render_table(
-            "Figure 4: read/write time vs blocks per extent (2 MiB file)",
-            ["blocks/extent", "read (cycles)", "write (cycles)"],
-            rows,
-        ),
-    )
+    write_result(results_dir, "fig4_extents", fig4_extents.bench_table(rows))

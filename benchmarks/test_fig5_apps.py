@@ -39,24 +39,4 @@ def test_fig5_apps(benchmark, results_dir):
     for name, systems in results.items():
         assert systems["M3"]["app"] == systems["Lx"]["app"]
 
-    rows = []
-    for name, systems in results.items():
-        lx_total = systems["Lx"]["total"]
-        for system_name in ("M3", "Lx-$", "Lx"):
-            entry = systems[system_name]
-            rows.append(
-                (name, system_name, entry["total"], entry["app"],
-                 entry["xfers"], entry["os"],
-                 f"{entry['total'] / lx_total:.2f}")
-            )
-    from repro.eval.report import render_table
-
-    write_result(
-        results_dir,
-        "fig5_apps",
-        render_table(
-            "Figure 5: application-level benchmarks (cycles)",
-            ["benchmark", "system", "total", "app", "xfers", "os", "vs Lx"],
-            rows,
-        ),
-    )
+    write_result(results_dir, "fig5_apps", fig5_apps.bench_table(results))

@@ -38,18 +38,4 @@ def test_fig6_scale(benchmark, results_dir):
     assert normalised["tar"][16] < 1.4
     assert normalised["sqlite"][16] < 1.3
 
-    rows = []
-    for bench, series in results.items():
-        for count, average, norm in series:
-            rows.append((bench, count, int(average), f"{norm:.2f}"))
-    from repro.eval.report import render_table
-
-    write_result(
-        results_dir,
-        "fig6_scale",
-        render_table(
-            "Figure 6: avg time per instance, normalised (flatter is better)",
-            ["benchmark", "instances", "avg cycles", "normalised"],
-            rows,
-        ),
-    )
+    write_result(results_dir, "fig6_scale", fig6_scale.bench_table(results))

@@ -34,18 +34,4 @@ def test_fig7_accel(benchmark, results_dir):
     m3_overhead = m3_accel["total"] - m3_accel["fft"]
     assert m3_overhead < 0.5 * linux_overhead
 
-    rows = [
-        (name, entry["total"], entry["fft"], entry["xfers"], entry["os"])
-        for name, entry in results.items()
-    ]
-    from repro.eval.report import render_table
-
-    write_result(
-        results_dir,
-        "fig7_accel",
-        render_table(
-            "Figure 7: FFT accelerator benefits (cycles)",
-            ["configuration", "total", "fft", "xfers", "os"],
-            rows,
-        ),
-    )
+    write_result(results_dir, "fig7_accel", fig7_accel.bench_table(results))

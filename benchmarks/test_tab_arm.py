@@ -26,14 +26,4 @@ def test_tab_arm(benchmark, results_dir):
     # "3.2 million cycles overhead on both architectures": near-equal.
     assert abs(copy[0] - copy[1]) / copy[0] < 0.10
 
-    from repro.eval.report import render_table
-
-    write_result(
-        results_dir,
-        "tab_arm",
-        render_table(
-            "Section 5.2: Linux on Xtensa vs ARM Cortex-A15",
-            ["metric", "Xtensa", "ARM"],
-            rows,
-        ),
-    )
+    write_result(results_dir, "tab_arm", tab_arm.bench_table(rows))

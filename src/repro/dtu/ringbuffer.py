@@ -34,6 +34,7 @@ class RingBuffer:
         self._slots: list[Message | None] = [None] * slot_count
         self._write_pos = 0
         self._read_pos = 0
+        self._occupied = 0
         self.delivered = 0
         self.dropped = 0
         #: reliable delivery: recently accepted (source, seq) pairs, so a
@@ -44,8 +45,13 @@ class RingBuffer:
 
     @property
     def occupied(self) -> int:
-        """Number of slots holding unacknowledged messages."""
-        return sum(1 for slot in self._slots if slot is not None)
+        """Number of slots holding unacknowledged messages.
+
+        Maintained incrementally by :meth:`push`/:meth:`ack` — credit
+        checks consult this on every message, so an O(slot_count) scan
+        here made large receive endpoints scale superlinearly.
+        """
+        return self._occupied
 
     @property
     def full(self) -> bool:
@@ -76,6 +82,7 @@ class RingBuffer:
         slot = self._write_pos
         self._slots[slot] = message
         self._write_pos = (slot + 1) % self.slot_count
+        self._occupied += 1
         self.delivered += 1
         if seq >= 0:
             # Record only accepted messages: a retransmit of a message
@@ -110,6 +117,7 @@ class RingBuffer:
         if self._slots[slot] is None:
             raise ValueError(f"slot {slot} already free")
         self._slots[slot] = None
+        self._occupied -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

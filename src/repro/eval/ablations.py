@@ -335,6 +335,68 @@ def cache_vs_bulk() -> dict:
 # ---------------------------------------------------------------------------
 
 
+def buffer_size_table(rows: list[tuple[int, int]]) -> str:
+    """The ``results/abl_buffer_size.txt`` table."""
+    return render_table("Ablation: read buffer size (1 MiB file)",
+                        ["buffer bytes", "cycles"], rows)
+
+
+def pipe_slot_table(rows: list[tuple[int, int]]) -> str:
+    """The ``results/abl_pipe_slots.txt`` table."""
+    return render_table("Ablation: pipe ring slots (256 KiB transfer)",
+                        ["slots", "cycles"], rows)
+
+
+def hop_latency_table(rows: list[tuple[int, int]]) -> str:
+    """The ``results/abl_hop_latency.txt`` table."""
+    return render_table("Ablation: NoC hop latency vs syscall cost",
+                        ["hop cycles", "syscall cycles"], rows)
+
+
+def placement_table(rows: list[tuple[int, int]]) -> str:
+    """The ``results/abl_placement.txt`` table."""
+    return render_table("Ablation: app placement vs syscall cost",
+                        ["app node", "syscall cycles"], rows)
+
+
+def multi_fs_table(rows: list[tuple[int, float]]) -> str:
+    """The ``results/abl_multi_fs.txt`` table."""
+    return render_table("Ablation: 16x find vs number of m3fs instances",
+                        ["m3fs instances", "avg cycles/instance"], rows)
+
+
+def multiplexing_table(trade: dict) -> str:
+    """The ``results/abl_multiplexing.txt`` table."""
+    return render_table(
+        "Ablation: dedicated PEs vs one multiplexed PE (4 workers)",
+        ["configuration", "wall cycles", "PEs"],
+        [("dedicated", trade["dedicated"]["wall"], trade["dedicated"]["pes"]),
+         ("shared+ctxsw", trade["shared"]["wall"], trade["shared"]["pes"])])
+
+
+def cache_table(results: dict) -> str:
+    """The ``results/abl_cache.txt`` table."""
+    return render_table(
+        "Ablation: SPM+bulk transfers vs cache (cycles)",
+        ["pattern", "bulk DTU", "cached"],
+        [("stream 64 KiB once", results["stream_bulk"],
+          results["stream_cached"]),
+         ("2 KiB hot set x32", results["hot_bulk"], results["hot_cached"])])
+
+
+#: result-file stem -> (sweep function, table renderer); the benchmark
+#: suite and repro.eval.runall both write these files through this map.
+BENCH_SWEEPS = {
+    "abl_buffer_size": (buffer_size_sweep, buffer_size_table),
+    "abl_pipe_slots": (pipe_slot_sweep, pipe_slot_table),
+    "abl_hop_latency": (hop_latency_sweep, hop_latency_table),
+    "abl_placement": (placement_sweep, placement_table),
+    "abl_multiplexing": (multiplexing_tradeoff, multiplexing_table),
+    "abl_cache": (cache_vs_bulk, cache_table),
+    "abl_multi_fs": (multi_fs_sweep, multi_fs_table),
+}
+
+
 def main() -> str:  # pragma: no cover - CLI convenience
     pieces = [
         render_table("Ablation: read buffer size (1 MiB file)",

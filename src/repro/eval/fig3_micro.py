@@ -265,6 +265,25 @@ def run() -> dict:
     return results
 
 
+def bench_table(results: dict) -> str:
+    """The ``results/fig3_micro.txt`` table for :func:`run`'s results.
+
+    Shared by the benchmark suite and :mod:`repro.eval.runall` so both
+    write bit-identical files.
+    """
+    rows = []
+    for op, systems in results.items():
+        for name in ("M3", "Lx-$", "Lx"):
+            entry = systems[name]
+            rows.append((op, name, entry["total"], entry["xfers"],
+                         entry["other"]))
+    return render_table(
+        "Figure 3: system calls and file operations (cycles)",
+        ["op", "system", "total", "xfers", "other"],
+        rows,
+    )
+
+
 def main() -> str:
     results = run()
     rows = []

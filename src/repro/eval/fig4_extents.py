@@ -75,6 +75,15 @@ def run() -> list[tuple[int, int, int]]:
     ]
 
 
+def bench_table(rows: list[tuple[int, int, int]]) -> str:
+    """The ``results/fig4_extents.txt`` table for :func:`run`'s rows."""
+    return render_table(
+        "Figure 4: read/write time vs blocks per extent (2 MiB file)",
+        ["blocks/extent", "read (cycles)", "write (cycles)"],
+        rows,
+    )
+
+
 def main() -> str:
     rows = run()
     table = render_table(

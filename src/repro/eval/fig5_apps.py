@@ -95,6 +95,25 @@ def run() -> dict:
     return results
 
 
+def bench_table(results: dict) -> str:
+    """The ``results/fig5_apps.txt`` table for :func:`run`'s results."""
+    rows = []
+    for name, systems in results.items():
+        lx_total = systems["Lx"]["total"]
+        for system_name in ("M3", "Lx-$", "Lx"):
+            entry = systems[system_name]
+            rows.append(
+                (name, system_name, entry["total"], entry["app"],
+                 entry["xfers"], entry["os"],
+                 f"{entry['total'] / lx_total:.2f}")
+            )
+    return render_table(
+        "Figure 5: application-level benchmarks (cycles)",
+        ["benchmark", "system", "total", "app", "xfers", "os", "vs Lx"],
+        rows,
+    )
+
+
 def main() -> str:
     results = run()
     rows = []

@@ -94,6 +94,19 @@ def run(benchmarks=None, instance_counts=None) -> dict:
     return results
 
 
+def bench_table(results: dict) -> str:
+    """The ``results/fig6_scale.txt`` table for :func:`run`'s results."""
+    rows = []
+    for benchmark, series in results.items():
+        for count, average, norm in series:
+            rows.append((benchmark, count, int(average), f"{norm:.2f}"))
+    return render_table(
+        "Figure 6: avg time per instance, normalised (flatter is better)",
+        ["benchmark", "instances", "avg cycles", "normalised"],
+        rows,
+    )
+
+
 def main() -> str:
     results = run()
     rows = []

@@ -62,6 +62,19 @@ def run() -> dict:
     }
 
 
+def bench_table(results: dict) -> str:
+    """The ``results/fig7_accel.txt`` table for :func:`run`'s results."""
+    rows = [
+        (name, entry["total"], entry["fft"], entry["xfers"], entry["os"])
+        for name, entry in results.items()
+    ]
+    return render_table(
+        "Figure 7: FFT accelerator benefits (cycles)",
+        ["configuration", "total", "fft", "xfers", "os"],
+        rows,
+    )
+
+
 def main() -> str:
     results = run()
     rows = [

@@ -110,6 +110,15 @@ def run() -> list[tuple]:
     return rows
 
 
+def bench_table(rows: list[tuple]) -> str:
+    """The ``results/tab_arm.txt`` table for :func:`run`'s rows."""
+    return render_table(
+        "Section 5.2: Linux on Xtensa vs ARM Cortex-A15",
+        ["metric", "Xtensa", "ARM"],
+        rows,
+    )
+
+
 def main() -> str:
     table = render_table(
         "Section 5.2: Linux on Xtensa vs ARM Cortex-A15",

@@ -10,7 +10,7 @@ from __future__ import annotations
 import typing
 
 from repro import params
-from repro.hw.spm import Scratchpad
+from repro.hw.spm import SparseMemory
 from repro.noc.packet import Packet
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -18,8 +18,14 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim import Simulator
 
 
-class Dram(Scratchpad):
-    """Byte-accurate DRAM array (a Scratchpad with a different name)."""
+class Dram(SparseMemory):
+    """Byte-accurate DRAM array.
+
+    Backed sparsely (:class:`~repro.hw.spm.SparseMemory`): the Figure 6
+    configurations give a 40-PE system hundreds of MiB of DRAM of which
+    only the filesystem image is ever touched, and zero-filling a dense
+    array at every system boot dominated benchmark wall time.
+    """
 
     def __init__(self, size: int):
         super().__init__(size, name="dram")

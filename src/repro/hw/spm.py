@@ -45,3 +45,101 @@ class Scratchpad:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Scratchpad {self.name!r} {self.size}B>"
+
+
+class SparseMemory(Scratchpad):
+    """A byte-accurate memory that materialises storage on first write.
+
+    Large memories (the DRAM module is hundreds of MiB in the Figure 6
+    configurations) are mostly never touched; a dense ``bytearray``
+    spends more wall time zero-filling at boot than the benchmark spends
+    simulating.  This variant keeps 64 KiB chunks in a dict — reads of
+    unwritten regions return zero bytes, exactly like the dense model,
+    and single-chunk accesses (the common case: filesystem blocks and
+    DTU transfers are far smaller than a chunk) take one dict lookup.
+    """
+
+    CHUNK_BYTES = 64 * 1024
+
+    def __init__(self, size: int, name: str = "mem"):
+        if size < 1:
+            raise ValueError(f"memory size must be positive: {size}")
+        self.size = size
+        self.name = name
+        self._chunks: dict[int, bytearray] = {}
+
+    def read(self, address: int, length: int) -> bytes:
+        self._check(address, length)
+        if length == 0:
+            return b""
+        chunk_bytes = self.CHUNK_BYTES
+        chunks = self._chunks
+        index = address // chunk_bytes
+        offset = address - index * chunk_bytes
+        if offset + length <= chunk_bytes:
+            chunk = chunks.get(index)
+            if chunk is None:
+                return bytes(length)
+            return bytes(chunk[offset : offset + length])
+        parts = []
+        remaining = length
+        while remaining > 0:
+            take = min(chunk_bytes - offset, remaining)
+            chunk = chunks.get(index)
+            parts.append(
+                bytes(take) if chunk is None
+                else bytes(chunk[offset : offset + take])
+            )
+            remaining -= take
+            offset = 0
+            index += 1
+        return b"".join(parts)
+
+    def write(self, address: int, data: bytes) -> None:
+        length = len(data)
+        self._check(address, length)
+        if length == 0:
+            return
+        chunk_bytes = self.CHUNK_BYTES
+        chunks = self._chunks
+        index = address // chunk_bytes
+        offset = address - index * chunk_bytes
+        if offset + length <= chunk_bytes:
+            chunk = chunks.get(index)
+            if chunk is None:
+                chunk = chunks[index] = bytearray(chunk_bytes)
+            chunk[offset : offset + length] = data
+            return
+        position = 0
+        while position < length:
+            take = min(chunk_bytes - offset, length - position)
+            chunk = chunks.get(index)
+            if chunk is None:
+                chunk = chunks[index] = bytearray(chunk_bytes)
+            chunk[offset : offset + take] = data[position : position + take]
+            position += take
+            offset = 0
+            index += 1
+
+    def zero(self, address: int, length: int) -> None:
+        self._check(address, length)
+        chunk_bytes = self.CHUNK_BYTES
+        chunks = self._chunks
+        index = address // chunk_bytes
+        offset = address - index * chunk_bytes
+        remaining = length
+        while remaining > 0:
+            take = min(chunk_bytes - offset, remaining)
+            chunk = chunks.get(index)
+            if chunk is not None:
+                # unmaterialised chunks already read back as zeros
+                chunk[offset : offset + take] = bytes(take)
+            remaining -= take
+            offset = 0
+            index += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SparseMemory {self.name!r} {self.size}B "
+            f"({len(self._chunks)} chunks live)>"
+        )

@@ -102,7 +102,7 @@ class ContextSwitcher:
             pe = preferred[0]
         else:
             pe = min(candidates, key=lambda p: len(self.queues[p.node]))
-        vpe = VpeObject(name, pe)
+        vpe = VpeObject(name, pe, next(self.kernel._vpe_ids))
         vpe.resident = False
         self.kernel.vpes[vpe.id] = vpe
         self.queues[pe.node].append(vpe)

@@ -92,6 +92,9 @@ class Kernel:
         #: parked open_session negotiations keyed by negotiation id.
         self._pending_sessions: dict[int, tuple] = {}
         self._negotiation_ids = itertools.count(1)
+        #: per-kernel VPE ids, so runs are reproducible regardless of
+        #: what else the hosting Python process simulated before.
+        self._vpe_ids = itertools.count(1)
         self._booted = False
         #: callback used by the M3 system layer to start software on a
         #: PE (models the kernel writing the boot registers via the DTU).
@@ -172,7 +175,7 @@ class Kernel:
             raise SyscallError(
                 f"no free PE of type {pe_type or 'any'} for VPE {name!r}"
             )
-        vpe = VpeObject(name, pe)
+        vpe = VpeObject(name, pe, next(self._vpe_ids))
         self.vpes[vpe.id] = vpe
         # Reserve the PE immediately so concurrent creates cannot race.
         pe.reserve()

@@ -8,7 +8,6 @@ tracks each VPE's PE binding, capability table, and exit state.
 from __future__ import annotations
 
 import enum
-import itertools
 import typing
 
 from repro.m3.kernel.capability import CapTable
@@ -16,8 +15,6 @@ from repro.m3.kernel.capability import CapTable
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hw.pe import ProcessingElement
     from repro.sim.events import Event
-
-_vpe_ids = itertools.count(1)
 
 
 class VpeState(enum.Enum):
@@ -29,8 +26,11 @@ class VpeState(enum.Enum):
 class VpeObject:
     """One virtual processing element, bound to a physical PE."""
 
-    def __init__(self, name: str, pe: "ProcessingElement"):
-        self.id = next(_vpe_ids)
+    def __init__(self, name: str, pe: "ProcessingElement", vpe_id: int):
+        # Ids are allocated by the owning kernel, not a process-global
+        # counter: exported traces must be a pure function of the run,
+        # not of how many systems this Python process booted before it.
+        self.id = vpe_id
         self.name = name
         self.pe = pe
         self.captable = CapTable(self)

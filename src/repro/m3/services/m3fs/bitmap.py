@@ -32,30 +32,30 @@ class Bitmap:
         """
         if want < 1 or minimum < 1 or minimum > want:
             raise ValueError(f"bad run request want={want} minimum={minimum}")
-        index = 0
+        # First-fit via bytearray.find, which scans at memchr speed —
+        # the byte-at-a-time Python loop dominated fs_preload on large
+        # volumes.  Semantics are identical: runs are visited left to
+        # right, the first run of >= want units wins outright, otherwise
+        # the leftmost longest run of >= minimum units is taken.
+        bits = self._bits
+        count = self.count
         best: tuple[int, int] | None = None
-        while index < self.count:
-            if self._bits[index]:
-                index += 1
-                continue
-            run_start = index
-            while index < self.count and not self._bits[index] and \
-                    index - run_start < want:
-                index += 1
-            run_length = index - run_start
+        index = bits.find(0)
+        while 0 <= index < count:
+            run_end = bits.find(1, index)
+            if run_end == -1:
+                run_end = count
+            run_length = run_end - index
             if run_length >= want:
-                best = (run_start, want)
+                best = (index, want)
                 break
             if run_length >= minimum and (best is None or run_length > best[1]):
-                best = (run_start, run_length)
-            # skip to the end of this free run
-            while index < self.count and not self._bits[index]:
-                index += 1
+                best = (index, run_length)
+            index = bits.find(0, run_end)
         if best is None:
             raise MemoryError(f"no free run of at least {minimum} units")
         start, got = best
-        for i in range(start, start + got):
-            self._bits[i] = 1
+        bits[start : start + got] = b"\x01" * got
         self.used += got
         return start, got
 
@@ -64,10 +64,10 @@ class Bitmap:
         self._check(start)
         if count < 1 or start + count > self.count:
             raise ValueError(f"bad free range [{start}, {start + count})")
-        for i in range(start, start + count):
-            if not self._bits[i]:
-                raise ValueError(f"double free of unit {i}")
-            self._bits[i] = 0
+        hole = self._bits.find(0, start, start + count)
+        if hole != -1:
+            raise ValueError(f"double free of unit {hole}")
+        self._bits[start : start + count] = bytes(count)
         self.used -= count
 
     @property

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import bisect
-import math
 
 
 class Link:
@@ -46,29 +45,41 @@ class Link:
         """Cycles to push ``nbytes`` through this link."""
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
-        return max(1, math.ceil(nbytes / self.bytes_per_cycle))
+        # Pure-integer ceiling division: float division plus math.ceil
+        # would round differently for very large byte counts.
+        duration = -(-nbytes // self.bytes_per_cycle)
+        return duration if duration > 0 else 1
 
     def reserve(self, earliest: int, nbytes: int) -> tuple[int, int]:
         """Reserve the link for ``nbytes`` no earlier than ``earliest``.
 
-        Returns ``(start, end)`` of the granted occupancy window.
+        Returns ``(start, end)`` of the granted occupancy window.  This
+        is the NoC's hottest call — every packet reserves every link on
+        its path — so it stays branch-light: one integer division, one
+        comparison against ``next_free``, and a constant-time extension
+        of the merged occupancy record in the common back-to-back case.
         """
-        duration = self.serialization_cycles(nbytes)
-        start = max(earliest, self.next_free)
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        duration = -(-nbytes // self.bytes_per_cycle)
+        if duration <= 0:
+            duration = 1
+        next_free = self.next_free
+        start = earliest if earliest > next_free else next_free
         end = start + duration
         self.next_free = end
         self.busy_cycles += duration
         self.packets += 1
-        if self._window_ends and self._window_ends[-1] == start:
+        ends = self._window_ends
+        if ends and ends[-1] == start:
             # Back-to-back with the previous window: extend it.
-            self._window_ends[-1] = end
+            ends[-1] = end
             self._window_cum[-1] += duration
         else:
+            cum = self._window_cum
             self._window_starts.append(start)
-            self._window_ends.append(end)
-            self._window_cum.append(
-                (self._window_cum[-1] if self._window_cum else 0) + duration
-            )
+            ends.append(end)
+            cum.append((cum[-1] if cum else 0) + duration)
         return start, end
 
     def busy_within(self, elapsed: int) -> int:

@@ -110,9 +110,10 @@ class Network:
             return end
         head_arrival = now
         completion = now
+        links = self._links
+        hop_cycles = self.hop_cycles
         for hop in self.router.links_on_path(packet.source, packet.destination):
-            head_arrival += self.hop_cycles
-            start, end = self._links[hop].reserve(head_arrival, wire_bytes)
+            start, end = links[hop].reserve(head_arrival + hop_cycles, wire_bytes)
             head_arrival = start  # downstream hops stall behind contention
             completion = end
         return completion

@@ -1,13 +1,55 @@
-"""The simulator core: a cycle clock and an ordered event queue."""
+"""The simulator core: a cycle clock and a hybrid event queue.
+
+The queue is split in two (the classic "calendar front bucket"
+optimisation used by lightweight simulators):
+
+- ``_bucket`` — a plain FIFO deque of callbacks due at the *current*
+  cycle.  ``call_soon`` and zero-delay scheduling append here, so the
+  long same-cycle chains produced by process wake-ups and event
+  dispatch never touch the heap.
+- ``_heap`` — a binary heap of ``[when, seq, callback, argument]``
+  entries for *future* cycles.  When the clock advances to a new cycle,
+  every heap entry due at that cycle is drained into the bucket in
+  sequence order, so FIFO ordering among same-cycle callbacks is
+  exactly what the old single-heap implementation produced.
+
+Entries are mutable lists so they double as cancellation handles: see
+:meth:`Simulator.cancel`.
+"""
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import operator
+
+from collections import deque
 
 from repro.sim.events import Event
 from repro.sim.ledger import TimeLedger
 from repro.sim.process import Process
+
+
+def _as_cycles(value, what: str) -> int:
+    """Coerce ``value`` to an integer cycle count.
+
+    The clock is integral; silently accepting arbitrary floats would let
+    platform-dependent rounding reorder events.  Integral floats (and
+    anything supporting ``__index__``) are coerced, everything else is
+    rejected.
+    """
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        raise ValueError(
+            f"{what} must be a whole number of cycles, got {value!r}"
+        )
+    try:
+        return operator.index(value)
+    except TypeError:
+        raise TypeError(
+            f"{what} must be an int cycle count, got {type(value).__name__}"
+        ) from None
 
 
 class Simulator:
@@ -18,10 +60,15 @@ class Simulator:
     fully deterministic.
     """
 
+    __slots__ = ("now", "_bucket", "_heap", "_sequence", "_cancelled",
+                 "ledger", "_processes", "obs")
+
     def __init__(self):
         self.now: int = 0
-        self._queue: list = []
+        self._bucket: deque = deque()
+        self._heap: list = []
         self._sequence = itertools.count()
+        self._cancelled = 0
         self.ledger = TimeLedger()
         self._processes: list[Process] = []
         #: optional observability hub (see :mod:`repro.obs`); with None
@@ -30,18 +77,43 @@ class Simulator:
 
     # -- scheduling --------------------------------------------------------
 
-    def schedule(self, delay: int, callback, argument: object = None) -> None:
-        """Run ``callback(argument)`` after ``delay`` cycles."""
+    def schedule(self, delay: int, callback, argument: object = None) -> list:
+        """Run ``callback(argument)`` after ``delay`` cycles.
+
+        Returns a handle accepted by :meth:`cancel`.
+        """
+        if type(delay) is not int:
+            delay = _as_cycles(delay, "delay")
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(
-            self._queue, (self.now + delay, next(self._sequence), callback, argument)
-        )
+        if delay == 0:
+            entry = [callback, argument]
+            self._bucket.append(entry)
+        else:
+            entry = [self.now + delay, next(self._sequence), callback, argument]
+            heapq.heappush(self._heap, entry)
+        return entry
 
-    def call_soon(self, callback, argument: object = None) -> None:
+    def call_soon(self, callback, argument: object = None) -> list:
         """Run ``callback(argument)`` at the current cycle, after the
-        currently-running callbacks."""
-        self.schedule(0, callback, argument)
+        currently-running callbacks.  Returns a :meth:`cancel` handle."""
+        entry = [callback, argument]
+        self._bucket.append(entry)
+        return entry
+
+    def cancel(self, handle: list) -> None:
+        """Cancel a callback scheduled with :meth:`schedule`/:meth:`call_soon`.
+
+        O(1): the queue entry is blanked in place and dropped when it
+        reaches the front, so cancelled timers (``Signal.wait``
+        timeouts and the like) leave no dead callbacks behind.
+        Cancelling an already-executed or already-cancelled handle is a
+        no-op.
+        """
+        # Both entry shapes keep the callback in the second-to-last slot.
+        if handle[-2] is not None:
+            handle[-2] = None
+            self._cancelled += 1
 
     # -- primitives for processes ------------------------------------------
 
@@ -55,11 +127,20 @@ class Simulator:
         If ``tag`` is given the cycles are charged to the ledger, which is
         how the evaluation reconstructs App/OS/Xfer breakdowns.
         """
+        if type(cycles) is not int:
+            cycles = _as_cycles(cycles, "delay")
         if cycles < 0:
             raise ValueError(f"negative delay: {cycles}")
-        self.ledger.charge(tag, cycles)
-        done = Event(self, f"delay({cycles})")
-        self.schedule(cycles, done.succeed)
+        if tag is not None:
+            self.ledger.charge(tag, cycles)
+        done = Event(self, "delay")
+        if cycles == 0:
+            self._bucket.append([done.succeed, None])
+        else:
+            heapq.heappush(
+                self._heap,
+                [self.now + cycles, next(self._sequence), done.succeed, None],
+            )
         return done
 
     def process(self, generator, name: str = "process") -> Process:
@@ -70,31 +151,81 @@ class Simulator:
 
     # -- execution ----------------------------------------------------------
 
+    def _advance(self) -> bool:
+        """Move the clock to the next populated cycle, draining every heap
+        entry due then into the bucket; False if the heap is empty."""
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[2] is None:
+                self._cancelled -= 1
+                continue
+            when = entry[0]
+            self.now = when
+            bucket = self._bucket
+            # Entries move as-is so outstanding cancel handles stay
+            # live; callbacks sit at [-2] in both entry shapes.
+            bucket.append(entry)
+            while heap and heap[0][0] == when:
+                bucket.append(heapq.heappop(heap))
+            return True
+        return False
+
     def step(self) -> bool:
         """Execute the next queued callback; return False if queue empty."""
-        if not self._queue:
-            return False
-        when, _seq, callback, argument = heapq.heappop(self._queue)
-        if when < self.now:  # pragma: no cover - guarded by schedule()
-            raise RuntimeError("time went backwards")
-        self.now = when
-        callback(argument)
-        return True
+        bucket = self._bucket
+        while True:
+            if not bucket and not self._advance():
+                return False
+            entry = bucket.popleft()
+            callback = entry[-2]
+            if callback is None:
+                self._cancelled -= 1
+                continue
+            callback(entry[-1])
+            return True
 
     def run(self, until: int | None = None, until_event: Event | None = None) -> None:
         """Run until the queue drains, ``until`` cycles pass, or an event fires.
 
-        ``until`` is an absolute cycle count.  When ``until_event`` is given,
-        execution stops right after the event triggers.
+        ``until`` is an absolute cycle count; events scheduled exactly at
+        ``until`` still fire.  When ``until_event`` is given, execution
+        stops right after the event triggers.
         """
-        while self._queue:
+        bucket = self._bucket
+        if until is None and until_event is None:
+            # Fast drain loop: no bound checks on the hot path.
+            while True:
+                while bucket:
+                    entry = bucket.popleft()
+                    callback = entry[-2]
+                    if callback is None:
+                        self._cancelled -= 1
+                    else:
+                        callback(entry[-1])
+                if not self._advance():
+                    return
+        while True:
             if until_event is not None and until_event.triggered:
                 return
-            when = self._queue[0][0]
-            if until is not None and when > until:
+            if bucket:
+                entry = bucket.popleft()
+                callback = entry[-2]
+                if callback is None:
+                    self._cancelled -= 1
+                else:
+                    callback(entry[-1])
+                continue
+            heap = self._heap
+            while heap and heap[0][2] is None:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+            if not heap:
+                break
+            if until is not None and heap[0][0] > until:
                 self.now = until
                 return
-            self.step()
+            self._advance()
         if until is not None and self.now < until:
             self.now = until
 
@@ -106,7 +237,8 @@ class Simulator:
         if not proc.done.triggered:
             raise RuntimeError(
                 f"process {name!r} did not finish "
-                f"(t={self.now}, queue={'empty' if not self._queue else 'pending'})"
+                f"(t={self.now}, queue="
+                f"{'empty' if not self.pending_events else 'pending'})"
             )
         if not proc.done.ok:
             raise proc.done.value
@@ -114,5 +246,5 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued callbacks (for tests and diagnostics)."""
-        return len(self._queue)
+        """Number of live queued callbacks (cancelled entries excluded)."""
+        return len(self._bucket) + len(self._heap) - self._cancelled

@@ -80,17 +80,19 @@ class Event:
 
     def _dispatch(self) -> None:
         callbacks, self._callbacks = self._callbacks, []
+        # Inlined call_soon: waking waiters is the hottest dispatch path.
+        bucket = self.sim._bucket
         for callback in callbacks:
-            self.sim.call_soon(callback, self)
+            bucket.append([callback, self])
 
     # -- waiting ----------------------------------------------------------
 
     def add_callback(self, callback) -> None:
         """Register ``callback(event)``; runs via the queue if triggered."""
-        if self.triggered:
-            self.sim.call_soon(callback, self)
-        else:
+        if self._state == Event._PENDING:
             self._callbacks.append(callback)
+        else:
+            self.sim._bucket.append([callback, self])
 
     def discard_callback(self, callback) -> None:
         """Remove a pending callback registration, if present."""

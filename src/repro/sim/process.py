@@ -42,18 +42,20 @@ class Process:
     # -- driving the generator ----------------------------------------------
 
     def _start(self, _=None) -> None:
-        self._advance(lambda: self.generator.send(None))
+        self._advance(self.generator.send, None)
 
     def _wake(self, event: Event) -> None:
         self._waiting_on = None
         if event.ok:
-            self._advance(lambda: self.generator.send(event.value))
+            self._advance(self.generator.send, event.value)
         else:
-            self._advance(lambda: self.generator.throw(event.value))
+            self._advance(self.generator.throw, event.value)
 
-    def _advance(self, step) -> None:
+    def _advance(self, resume, value) -> None:
+        """Resume the generator (``resume`` is its ``send`` or ``throw``)
+        with ``value`` and block on whatever it yields next."""
         try:
-            target = step()
+            target = resume(value)
         except StopIteration as stop:
             self.done.succeed(stop.value)
             return
@@ -63,18 +65,19 @@ class Process:
         self._block_on(target)
 
     def _block_on(self, target) -> None:
-        if isinstance(target, Process):
-            target = target.done
-        elif isinstance(target, int):
-            target = self.sim.delay(target)
-        if not isinstance(target, Event):
-            self.done.fail(
-                TypeError(
-                    f"process {self.name!r} yielded {target!r}; expected an "
-                    "Event, a Process, or an int delay"
+        if type(target) is not Event:
+            if isinstance(target, Process):
+                target = target.done
+            elif isinstance(target, int):
+                target = self.sim.delay(target)
+            elif not isinstance(target, Event):
+                self.done.fail(
+                    TypeError(
+                        f"process {self.name!r} yielded {target!r}; expected "
+                        "an Event, a Process, or an int delay"
+                    )
                 )
-            )
-            return
+                return
         self._waiting_on = target
         target.add_callback(self._wake)
 
@@ -99,9 +102,7 @@ class Process:
         waiting.discard_callback(self._wake)
         self._waiting_on = None
         self.sim.call_soon(
-            lambda _: self._advance(
-                lambda: self.generator.throw(Interrupt(cause))
-            )
+            lambda _: self._advance(self.generator.throw, Interrupt(cause))
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

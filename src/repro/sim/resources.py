@@ -33,6 +33,8 @@ class WaitTimeout(Exception):
 class Mailbox:
     """Unbounded FIFO of items with blocking receive."""
 
+    __slots__ = ("sim", "name", "_items", "_waiters")
+
     def __init__(self, sim: "Simulator", name: str = "mailbox"):
         self.sim = sim
         self.name = name
@@ -40,9 +42,17 @@ class Mailbox:
         self._waiters: collections.deque[Event] = collections.deque()
 
     def put(self, item: object) -> None:
-        """Deposit an item, waking the oldest waiter if any."""
+        """Deposit an item, waking the oldest waiter if any.
+
+        The wake-up is routed through ``sim.call_soon`` rather than
+        triggering the waiter's event inside the producer's callback:
+        the producer finishes its own callback before the consumer's
+        event even becomes triggered, so a producer can never observe
+        (or be re-entered through) half-woken consumer state.  FIFO
+        hand-off order is preserved — ``call_soon`` is itself FIFO.
+        """
         if self._waiters:
-            self._waiters.popleft().succeed(item)
+            self.sim.call_soon(self._waiters.popleft().succeed, item)
         else:
             self._items.append(item)
 
@@ -62,6 +72,8 @@ class Mailbox:
 class Semaphore:
     """Counting semaphore with FIFO wake-up order."""
 
+    __slots__ = ("sim", "name", "_tokens", "_waiters")
+
     def __init__(self, sim: "Simulator", tokens: int = 0, name: str = "sem"):
         if tokens < 0:
             raise ValueError("initial token count must be non-negative")
@@ -75,13 +87,19 @@ class Semaphore:
         return self._tokens
 
     def release(self, count: int = 1) -> None:
-        """Add tokens, waking as many waiters as tokens allow."""
+        """Add tokens, waking as many waiters as tokens allow.
+
+        Wake-ups go through ``sim.call_soon`` (see :meth:`Mailbox.put`):
+        the releaser's callback completes before any waiter resumes, and
+        waiters resume in FIFO order.
+        """
         if count < 0:
             raise ValueError("cannot release a negative count")
         self._tokens += count
+        call_soon = self.sim.call_soon
         while self._tokens and self._waiters:
             self._tokens -= 1
-            self._waiters.popleft().succeed()
+            call_soon(self._waiters.popleft().succeed, None)
 
     def acquire(self) -> Event:
         """An event that triggers once a token has been taken."""
@@ -102,10 +120,14 @@ class Signal:
     a message arrives" without busy-looping the simulator.
     """
 
+    __slots__ = ("sim", "name", "_waiters")
+
     def __init__(self, sim: "Simulator", name: str = "signal"):
         self.sim = sim
         self.name = name
-        self._waiters: list[Event] = []
+        #: pending (event, timer-handle) pairs; the handle is None for
+        #: unbounded waits.
+        self._waiters: list[tuple[Event, list | None]] = []
 
     def wait(self, timeout: int | None = None) -> Event:
         """An event for the next firing.
@@ -113,28 +135,35 @@ class Signal:
         With ``timeout``, the event instead *fails* with
         :class:`WaitTimeout` after that many cycles if the signal has
         not fired — the waiter is deregistered, so abandoned waits do
-        not accumulate.
+        not accumulate.  When the signal fires first, the expiry timer
+        is cancelled (:meth:`Simulator.cancel`), so satisfied waits
+        leave no dead callbacks in the event queue.
         """
         event = Event(self.sim, f"{self.name}.wait")
-        self._waiters.append(event)
-        if timeout is not None:
-            if timeout <= 0:
-                raise ValueError(f"timeout must be positive, got {timeout}")
+        if timeout is None:
+            self._waiters.append((event, None))
+            return event
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
 
-            def expire(_):
-                if not event.triggered:
-                    self._waiters.remove(event)
-                    event.fail(WaitTimeout(
-                        f"{self.name} did not fire within {timeout} cycles"
-                    ))
+        def expire(_):
+            if not event.triggered:
+                self._waiters.remove((event, timer))
+                event.fail(WaitTimeout(
+                    f"{self.name} did not fire within {timeout} cycles"
+                ))
 
-            self.sim.schedule(timeout, expire)
+        timer = self.sim.schedule(timeout, expire)
+        self._waiters.append((event, timer))
         return event
 
     def fire(self, value: object = None) -> None:
         """Wake all current waiters with ``value``."""
         waiters, self._waiters = self._waiters, []
-        for event in waiters:
+        cancel = self.sim.cancel
+        for event, timer in waiters:
+            if timer is not None:
+                cancel(timer)
             event.succeed(value)
 
     @property

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 import hashlib
 
 from repro import params
@@ -10,14 +11,24 @@ from repro import params
 TAR_RECORD_BYTES = 512
 
 
+@functools.lru_cache(maxsize=512)
 def deterministic_bytes(tag: str, length: int) -> bytes:
-    """Pseudo-random but reproducible payload bytes."""
+    """Pseudo-random but reproducible payload bytes.
+
+    A pure function of ``(tag, length)``, so results are memoised: the
+    benchmark suite regenerates the same corpora (tar sources, replay
+    write buffers, cat+tr input) for every system boot, and the SHA-256
+    expansion below is a measurable share of suite wall time.  The
+    returned ``bytes`` are immutable and safe to share.
+    """
     if length <= 0:
         return b""
     out = bytearray()
+    sha256 = hashlib.sha256
+    prefix = f"{tag}:".encode()
     counter = 0
     while len(out) < length:
-        out.extend(hashlib.sha256(f"{tag}:{counter}".encode()).digest())
+        out.extend(sha256(prefix + str(counter).encode()).digest())
         counter += 1
     return bytes(out[:length])
 

@@ -106,3 +106,52 @@ def test_ringbuffer_behaves_like_bounded_fifo(operations, slots):
             else:
                 assert fetched is None
     assert ring.occupied == len(reference)
+
+
+def _reliable(seq, payload="x"):
+    return Message(MessageHeader(label=0, length=8, seq=seq), payload)
+
+
+def test_retransmit_after_full_ring_drop_is_delivered():
+    """A reliable message dropped because the ring was full must NOT be
+    recorded as seen: its retransmit is a first delivery, not a
+    duplicate.  Only messages that were actually accepted deduplicate."""
+    from repro.dtu.ringbuffer import DUPLICATE
+
+    ring = RingBuffer(slot_size=64, slot_count=2)
+    assert ring.push(_reliable(0), source=7) is not None
+    assert ring.push(_reliable(1), source=7) is not None
+    assert ring.push(_reliable(2), source=7) is None  # full: dropped
+    assert ring.dropped == 1
+
+    slot, _ = ring.fetch()
+    ring.ack(slot)
+    # The sender retransmits seq 2 after the ack was never seen.
+    assert ring.push(_reliable(2), source=7) not in (None, DUPLICATE)
+    assert ring.duplicates == 0
+    # A retransmit of the now-accepted message IS suppressed.
+    assert ring.push(_reliable(2), source=7) is DUPLICATE
+    assert ring.duplicates == 1
+
+
+def test_occupied_counter_matches_slot_scan():
+    """The maintained occupancy counter stays exact through pushes,
+    fetches, acks, drops, duplicates, and wrap-around."""
+    ring = RingBuffer(slot_size=64, slot_count=4)
+
+    def scan():
+        return sum(slot is not None for slot in ring._slots)
+
+    for seq in range(4):
+        ring.push(_reliable(seq), source=1)
+        assert ring.occupied == scan()
+    ring.push(_reliable(4), source=1)  # dropped: full
+    assert ring.occupied == scan() == 4
+    for _ in range(2):
+        slot, _ = ring.fetch()
+        ring.ack(slot)
+        assert ring.occupied == scan()
+    ring.push(_reliable(1), source=1)  # duplicate: suppressed
+    assert ring.occupied == scan() == 2
+    ring.push(_reliable(5), source=1)  # wraps into a freed slot
+    assert ring.occupied == scan() == 3

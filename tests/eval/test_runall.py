@@ -1,0 +1,76 @@
+"""The parallel evaluation runner: job list, merge, and determinism."""
+
+import multiprocessing
+
+import pytest
+
+from repro.eval import runall, tab_arm
+
+
+def test_build_jobs_is_deterministic_and_complete():
+    jobs = runall.build_jobs()
+    assert jobs == runall.build_jobs()  # fixed order, every call
+    kinds = {job[0] for job in jobs}
+    assert kinds == {"fig6-point", "figure", "ablation"}
+    points = [job for job in jobs if job[0] == "fig6-point"]
+    assert len(points) == (
+        len(runall.FIG6_BENCHMARKS) * len(runall.FIG6_INSTANCE_COUNTS)
+    )
+    figures = {job[1] for job in jobs if job[0] == "figure"}
+    assert figures == set(runall._FIGURES)
+
+
+def test_build_jobs_select_filters_by_output_name():
+    jobs = runall.build_jobs(select=["tab_arm", "abl_cache"])
+    assert jobs == [("ablation", "abl_cache"), ("figure", "tab_arm")]
+    assert runall.build_jobs(select=["fig6_scale"]) == [
+        job for job in runall.build_jobs() if job[0] == "fig6-point"
+    ]
+
+
+def test_merge_fig6_normalises_against_smallest_count():
+    averages = {
+        (benchmark, count): 100.0 * count
+        for benchmark in runall.FIG6_BENCHMARKS
+        for count in runall.FIG6_INSTANCE_COUNTS
+    }
+    results = runall.merge_fig6(averages)
+    assert set(results) == set(runall.FIG6_BENCHMARKS)
+    for series in results.values():
+        counts = [count for count, _avg, _norm in series]
+        assert counts == sorted(runall.FIG6_INSTANCE_COUNTS)
+        assert series[0][2] == 1.0  # baseline normalises to itself
+        assert series[-1][2] == pytest.approx(
+            max(counts) / min(counts)
+        )
+
+
+def test_merge_order_independent_of_point_completion_order():
+    averages = {
+        (benchmark, count): float(hash((benchmark, count)) % 1000 + 1)
+        for benchmark in runall.FIG6_BENCHMARKS
+        for count in runall.FIG6_INSTANCE_COUNTS
+    }
+    shuffled = dict(reversed(list(averages.items())))
+    assert runall.merge_fig6(averages) == runall.merge_fig6(shuffled)
+
+
+def test_serial_run_matches_direct_eval(tmp_path):
+    files = runall.run_all(jobs=1, select=["tab_arm"], results_dir=tmp_path)
+    expected = tab_arm.bench_table(tab_arm.run()) + "\n"
+    assert files == {"tab_arm.txt": expected}
+    assert (tmp_path / "tab_arm.txt").read_text() == expected
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="needs fork start method",
+)
+def test_pool_run_matches_serial_run(tmp_path):
+    select = ["tab_arm", "abl_hop_latency"]
+    serial = runall.run_all(jobs=1, select=select,
+                            results_dir=tmp_path / "serial")
+    pooled = runall.run_all(jobs=2, select=select,
+                            results_dir=tmp_path / "pooled")
+    assert serial == pooled
+    assert set(serial) == {"tab_arm.txt", "abl_hop_latency.txt"}

@@ -203,3 +203,94 @@ def test_signal_timeout_wins_same_cycle_race():
     sim.schedule(10, lambda _: sig.fire("again"))
     sim.run()
     assert woken == ["again"]
+
+
+def test_mailbox_put_wakes_waiters_in_scheduling_not_call_order():
+    """Same-cycle producer/consumer ordering: ``put`` must not run the
+    waiter's continuation inside the producer's stack frame.  The
+    producer finishes its cycle first; blocked consumers then resume in
+    FIFO order within the same cycle."""
+    sim = Simulator()
+    box = Mailbox(sim)
+    log = []
+
+    def consumer(index):
+        item = yield box.get()
+        log.append(("consumer", index, item, sim.now))
+
+    def producer():
+        yield 5
+        box.put("a")
+        log.append(("producer", "after-put-a", sim.now))
+        box.put("b")
+        log.append(("producer", "after-put-b", sim.now))
+
+    sim.process(consumer(0), "c0")
+    sim.process(consumer(1), "c1")
+    sim.process(producer(), "p")
+    sim.run()
+    assert log == [
+        ("producer", "after-put-a", 5),
+        ("producer", "after-put-b", 5),
+        ("consumer", 0, "a", 5),
+        ("consumer", 1, "b", 5),
+    ]
+
+
+def test_semaphore_release_wakes_waiters_in_scheduling_not_call_order():
+    sim = Simulator()
+    gate = Semaphore(sim, tokens=0)
+    log = []
+
+    def worker(index):
+        yield gate.acquire()
+        log.append(("worker", index, sim.now))
+
+    def releaser():
+        yield 3
+        gate.release(2)
+        log.append(("released", sim.now))
+
+    sim.process(worker(0), "w0")
+    sim.process(worker(1), "w1")
+    sim.process(releaser(), "r")
+    sim.run()
+    assert log == [("released", 3), ("worker", 0, 3), ("worker", 1, 3)]
+
+
+def test_signal_fire_cancels_pending_timeout_timers():
+    """A fired wait(timeout=...) leaves no dead timer behind: the run
+    ends at the fire cycle, and nothing stays pending afterwards."""
+    sim = Simulator()
+    signal = Signal(sim)
+    woken = []
+
+    def waiter():
+        yield signal.wait(timeout=1000)
+        woken.append(sim.now)
+
+    def firer():
+        yield 10
+        signal.fire()
+
+    sim.process(waiter(), "w")
+    sim.process(firer(), "f")
+    sim.run()
+    assert woken == [10]
+    assert sim.now == 10  # the cancelled timer never dragged the clock
+    assert sim.pending_events == 0
+
+
+def test_signal_timeout_still_fires_when_not_signalled():
+    sim = Simulator()
+    signal = Signal(sim)
+
+    def waiter():
+        try:
+            yield signal.wait(timeout=25)
+        except WaitTimeout:
+            return sim.now
+        return None
+
+    assert sim.run_process(waiter(), "w") == 25
+    assert sim.pending_events == 0
