@@ -32,7 +32,7 @@ import pathlib
 import sys
 import time
 
-from repro.eval import ablations, fig6_scale, runall
+from repro.eval import ablations, fig6_multikernel, fig6_scale, runall
 from repro.sim import Mailbox, Simulator
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
@@ -112,6 +112,11 @@ def measure_figures() -> dict:
         for count in runall.FIG6_INSTANCE_COUNTS:
             fig6_scale.average_instance_time(benchmark, count)
     timings["fig6_scale"] = round(time.perf_counter() - start, 3)
+    start = time.perf_counter()
+    for benchmark in fig6_multikernel.BENCHMARKS:
+        for kernel_count in fig6_multikernel.KERNEL_COUNTS:
+            fig6_multikernel.average_instance_time(benchmark, kernel_count)
+    timings["fig6_multikernel"] = round(time.perf_counter() - start, 3)
     return timings
 
 

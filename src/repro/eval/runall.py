@@ -36,6 +36,7 @@ from repro.eval import (
     fig3_micro,
     fig4_extents,
     fig5_apps,
+    fig6_multikernel,
     fig6_scale,
     fig7_accel,
     profile,
@@ -115,6 +116,9 @@ def _execute(job: tuple):
     if kind == "fig6-point":
         _, benchmark, count = job
         return fig6_scale.average_instance_time(benchmark, count)
+    if kind == "fig6mk-point":
+        _, benchmark, kernel_count = job
+        return fig6_multikernel.average_instance_time(benchmark, kernel_count)
     raise ValueError(f"unknown job kind: {job!r}")
 
 
@@ -138,6 +142,12 @@ def build_jobs(select: list[str] | None = None) -> list[tuple]:
         for count in sorted(FIG6_INSTANCE_COUNTS, reverse=True):
             for benchmark in FIG6_BENCHMARKS:
                 jobs.append(("fig6-point", benchmark, count))
+    # Every multi-kernel point runs 16 instances; fewer domains = one
+    # kernel serving more of them = slower, so k=1 goes first.
+    if wanted("fig6_multikernel"):
+        for kernel_count in sorted(fig6_multikernel.KERNEL_COUNTS):
+            for benchmark in fig6_multikernel.BENCHMARKS:
+                jobs.append(("fig6mk-point", benchmark, kernel_count))
     for name in ("fig5_apps", "fault_tolerance"):
         if wanted(name):
             jobs.append(("figure", name))
@@ -176,14 +186,22 @@ def _collect(jobs: list[tuple], outcomes: list) -> dict:
     """Fold per-job outcomes (in job order) into {filename: content}."""
     files: dict[str, str] = {}
     fig6_points: dict[tuple, float] = {}
+    fig6mk_points: dict[tuple, float] = {}
     for job, outcome in zip(jobs, outcomes):
         if job[0] == "fig6-point":
             fig6_points[(job[1], job[2])] = outcome
+        elif job[0] == "fig6mk-point":
+            fig6mk_points[(job[1], job[2])] = outcome
         else:
             files.update(outcome)
     if fig6_points:
         table = fig6_scale.bench_table(merge_fig6(fig6_points))
         files["fig6_scale.txt"] = table + "\n"
+    if fig6mk_points:
+        table = fig6_multikernel.bench_table(
+            fig6_multikernel.merge_points(fig6mk_points)
+        )
+        files["fig6_multikernel.txt"] = table + "\n"
     return files
 
 

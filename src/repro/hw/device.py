@@ -165,6 +165,8 @@ class NetworkDevice(Device):
             frame = yield from self.dtu.read_memory(DMA_MEM_EP, offset, length)
             self.frames_sent += 1
             self.wire.transmit(self, bytes(frame))
+            # The frame left the buffer: the driver may reuse the slot.
+            self.raise_interrupt(("txdone", offset))
 
     def receive_frame(self, frame: bytes) -> None:
         """Wire-side delivery entry point."""

@@ -85,15 +85,20 @@ class Platform:
             raise ValueError(f"no PE at node {node}")
         return self.pes[node]
 
-    def find_free_pe(self, core_type: str | None = None) -> ProcessingElement | None:
+    def find_free_pe(self, core_type: str | None = None,
+                     nodes=None) -> ProcessingElement | None:
         """First unoccupied PE, optionally of a requested core type.
 
         This is the kernel's PE-allocation primitive: "the application
         can request a specific type of PE — for example a specific
-        accelerator" (Section 4.5.5).
+        accelerator" (Section 4.5.5).  ``nodes`` restricts the search to
+        a set of node ids — each kernel of a partitioned mesh only
+        allocates PEs inside its own domain.
         """
         for pe in self.pes:
             if pe.busy or pe.failed:
+                continue
+            if nodes is not None and pe.node not in nodes:
                 continue
             if core_type is not None and pe.core.type.name != core_type:
                 continue

@@ -31,7 +31,8 @@ class Capability:
     """A (kernel object, permissions) pair held in one VPE's table."""
 
     __slots__ = (
-        "kind", "obj", "table", "selector", "parent", "children", "bound_eps"
+        "kind", "obj", "table", "selector", "parent", "children",
+        "bound_eps", "foreign"
     )
 
     def __init__(self, kind: CapKind, obj: object):
@@ -45,6 +46,10 @@ class Capability:
         #: (vpe_id, ep_index) pairs this capability is activated on; the
         #: kernel invalidates these endpoints when the cap is revoked.
         self.bound_eps: set = set()
+        #: the referenced object is owned by a *peer kernel domain*
+        #: (delegated over the inter-kernel protocol); revoking it must
+        #: not free resources into this kernel's allocators.
+        self.foreign = False
 
     def derive(self, obj: object | None = None,
                kind: "CapKind | None" = None) -> "Capability":

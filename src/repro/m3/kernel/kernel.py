@@ -21,6 +21,10 @@ from repro.m3.kernel.memmgr import MemoryManager
 from repro.m3.kernel.objects import (
     MemObject,
     RecvGateObject,
+    RemoteClientRef,
+    RemoteGateStub,
+    RemoteServiceRef,
+    RemoteVpeObject,
     SendGateObject,
     ServiceObject,
     SessionObject,
@@ -45,7 +49,12 @@ NO_REPLY = _NoReply()
 #: kernel endpoint assignment.
 KERNEL_SYSCALL_EP = 0  # receive endpoint for all syscalls
 KERNEL_REPLY_EP = 1  # receive endpoint for replies to kernel-sent messages
-KERNEL_FIRST_SRV_EP = 2  # send endpoints to services
+KERNEL_FIRST_SRV_EP = 2  # send endpoints to services (single-kernel layout)
+#: multi-kernel layout only: requests from peer kernels arrive here and
+#: peer send endpoints follow; service endpoints then start after the
+#: last peer.  A single kernel keeps the layout above unchanged.
+KERNEL_IK_EP = 2
+KERNEL_FIRST_PEER_EP = 3
 
 #: application endpoint assignment (mirrored by libm3's Env).
 APP_SYSCALL_EP = 0  # send endpoint to the kernel
@@ -61,27 +70,56 @@ REPLY_RING_SLOTS = 8
 #: the kernel's own reply ring must absorb a burst of session
 #: negotiations (up to one per parked open_session).
 KERNEL_REPLY_RING_SLOTS = 64
+#: inter-kernel channel geometry: requests carry service lookups and
+#: capability descriptors, so the slots match the reply ring's size.
+IK_SLOT_BYTES = 512
+IK_RING_SLOTS = 64
+IK_MSG_BYTES = 256
+#: per-peer in-flight request limit; with at most 3 peers the receive
+#: ring (64 slots) can absorb every peer's burst at once.
+IK_SEND_CREDITS = 16
 
 
 class Kernel:
     """Kernel state plus the dispatch loop running on the kernel PE."""
 
     def __init__(self, platform: "Platform", node: int = 0,
-                 dram_reserve: int = 0):
+                 dram_reserve: int = 0, kernel_id: int = 0,
+                 domain=None, dram_base: int | None = None,
+                 dram_bytes: int | None = None):
         self.platform = platform
         self.sim = platform.sim
         self.node = node
         self.pe = platform.pe(node)
         self.dtu = self.pe.dtu
+        #: this kernel's id and the set of PE nodes it owns (``None``
+        #: means the whole mesh — the classic single-kernel layout).
+        self.kernel_id = kernel_id
+        self.domain = set(domain) if domain is not None else None
+        #: process-name stem (the system layer renames partitioned
+        #: kernels to ``kernel<d>``).
+        self.label = "kernel"
         #: VPE id -> kernel object.
         self.vpes: dict[int, VpeObject] = {}
         #: registered services by name.
         self.services: dict[str, ServiceObject] = {}
         #: DRAM allocator (`dram_reserve` bytes at the bottom stay free
-        #: for platform-level uses).
-        self.memory = MemoryManager(
-            dram_reserve, platform.dram.memory.size - dram_reserve
-        )
+        #: for platform-level uses); a partitioned kernel manages only
+        #: its own shard ``[dram_base, dram_base + dram_bytes)``.
+        if dram_base is None:
+            dram_base = dram_reserve
+            dram_bytes = platform.dram.memory.size - dram_reserve
+        self.memory = MemoryManager(dram_base, dram_bytes)
+        #: peer kernel id -> send-EP index on this kernel's DTU.
+        self.peers: dict[int, int] = {}
+        self._peer_nodes: dict[int, int] = {}
+        #: parked inter-kernel requests: negotiation id -> completion
+        #: callback run with the peer's reply payload.
+        self._ik_pending: dict[int, typing.Callable] = {}
+        #: service name -> owning peer kernel id (remote-lookup cache).
+        self._remote_services: dict[str, int] = {}
+        self.ik_requests_sent = 0
+        self.ik_requests_served = 0
         #: send-EP index on the kernel DTU per service name.
         self._service_eps: dict[str, int] = {}
         self._next_service_ep = KERNEL_FIRST_SRV_EP
@@ -121,6 +159,27 @@ class Kernel:
     # Boot
     # ------------------------------------------------------------------
 
+    def set_peers(self, peer_nodes: dict) -> None:
+        """Declare the other kernels (id -> node) before :meth:`boot`.
+
+        Assigns one send endpoint per peer (after the inter-kernel
+        receive endpoint) and moves the first service endpoint behind
+        them.  Never called for a single-kernel system, whose endpoint
+        layout is unchanged.
+        """
+        self._peer_nodes = dict(peer_nodes)
+        self.peers = {}
+        ep_index = KERNEL_FIRST_PEER_EP
+        for peer_id in sorted(self._peer_nodes):
+            self.peers[peer_id] = ep_index
+            ep_index += 1
+        if ep_index > len(self.dtu.eps):
+            raise ValueError(
+                f"{len(self._peer_nodes)} peer kernels do not fit "
+                f"{len(self.dtu.eps)} DTU endpoints"
+            )
+        self._next_service_ep = ep_index
+
     def boot(self):
         """Generator: take control of the chip.
 
@@ -146,9 +205,33 @@ class Kernel:
                 slot_count=KERNEL_REPLY_RING_SLOTS,
             ),
         )
+        if self._peer_nodes:
+            self.dtu.configure_local(
+                "configure",
+                KERNEL_IK_EP,
+                EndpointRegisters.receive_config(
+                    buffer_addr=8192,
+                    slot_size=IK_SLOT_BYTES,
+                    slot_count=IK_RING_SLOTS,
+                ),
+            )
+            for peer_id, ep_index in self.peers.items():
+                self.dtu.configure_local(
+                    "configure",
+                    ep_index,
+                    EndpointRegisters.send_config(
+                        target_node=self._peer_nodes[peer_id],
+                        target_ep=KERNEL_IK_EP,
+                        label=self.kernel_id,
+                        credits=IK_SEND_CREDITS,
+                        msg_size=IK_SLOT_BYTES,
+                    ),
+                )
         for pe in self.platform.pes:
             if pe.node == self.node:
                 continue
+            if self.domain is not None and pe.node not in self.domain:
+                continue  # a peer kernel downgrades its own domain
             yield from self.dtu.configure_remote(pe.node, "downgrade")
         self._booted = True
 
@@ -165,7 +248,7 @@ class Kernel:
         queued on a time-shared PE instead (general-purpose cores only);
         the creator's PE is the preferred victim.
         """
-        pe = self.platform.find_free_pe(pe_type)
+        pe = self.platform.find_free_pe(pe_type, nodes=self.domain)
         if pe is None or pe.node == self.node:
             if self.multiplexing and pe_type in (None, "xtensa"):
                 preferred = creator.node if creator is not None else None
@@ -176,6 +259,7 @@ class Kernel:
                 f"no free PE of type {pe_type or 'any'} for VPE {name!r}"
             )
         vpe = VpeObject(name, pe, next(self._vpe_ids))
+        vpe.kernel = self
         self.vpes[vpe.id] = vpe
         # Reserve the PE immediately so concurrent creates cannot race.
         pe.reserve()
@@ -199,6 +283,7 @@ class Kernel:
         vpe = self.ctxsw.place(name, preferred_node)
         if vpe is None:
             return None
+        vpe.kernel = self
         vpe.captable.insert(Capability(CapKind.VPE, vpe))
         # The loader capability targets the DRAM staging area, not the
         # (occupied) SPM.
@@ -257,6 +342,9 @@ class Kernel:
         for waiter_vpe, slot in vpe.waiters:
             self._reply(waiter_vpe, slot, ("ok", exit_code))
         vpe.waiters.clear()
+        for ik_slot in vpe.remote_waiters:
+            self._ik_reply(ik_slot, ("ok", exit_code))
+        vpe.remote_waiters.clear()
         for event in vpe.exit_events:
             event.succeed(exit_code)
         vpe.exit_events.clear()
@@ -365,6 +453,9 @@ class Kernel:
             self._reply(waiter_vpe, slot, error)
         vpe.waiters.clear()
         vpe.yield_waiters.clear()
+        for ik_slot in vpe.remote_waiters:
+            self._ik_reply(ik_slot, error)
+        vpe.remote_waiters.clear()
         # DEAD before revoking, so _teardown's VPE branch does not try
         # to "exit" the corpse a second time.
         self.vpe_exited(vpe, ("failed", reason))
@@ -400,17 +491,26 @@ class Kernel:
             if fetched is not None:
                 yield from self._handle_service_reply(*fetched)
                 progressed = True
+            if self.peers:
+                fetched = self.dtu.fetch_message(KERNEL_IK_EP)
+                if fetched is not None:
+                    yield from self._handle_ik_request(*fetched)
+                    progressed = True
             if not progressed:
-                yield first_of(
-                    self.sim,
+                waits = [
                     self.dtu.signal(KERNEL_SYSCALL_EP).wait(),
                     self.dtu.signal(KERNEL_REPLY_EP).wait(),
-                )
+                ]
+                if self.peers:
+                    waits.append(self.dtu.signal(KERNEL_IK_EP).wait())
+                yield first_of(self.sim, *waits)
 
     def _handle_syscall(self, slot: int, message):
         """Generator: dispatch one syscall message and reply."""
         self.syscall_count += 1
         obs = self.sim.obs
+        if obs is not None and self.peers:
+            obs.count(f"kernel{self.kernel_id}.syscalls")
         started = self.sim.now
         vpe = self.vpes.get(message.label)
         yield self.sim.delay(params.M3_KERNEL_DISPATCH_CYCLES, tag=Tag.OS)
@@ -473,7 +573,15 @@ class Kernel:
         yield  # pragma: no cover - makes this a generator
 
     def _sys_create_vpe(self, vpe, slot, name, pe_type):
-        child = yield from self.create_vpe(name, pe_type, creator=vpe)
+        try:
+            child = yield from self.create_vpe(name, pe_type, creator=vpe)
+        except SyscallError:
+            if not self.peers:
+                raise
+            # Domain full: spill the VPE to a peer kernel's domain.
+            self._spill_create_vpe(vpe, slot, name, pe_type,
+                                   sorted(self.peers), 0)
+            return NO_REPLY
         # Give the *parent* a capability for the child VPE and its SPM.
         child_vpe_cap = child.captable.get(0)
         child_spm_cap = child.captable.get(1)
@@ -481,14 +589,70 @@ class Kernel:
         spm_sel = vpe.captable.insert(child_spm_cap.derive())
         return (vpe_sel, spm_sel, child.id)
 
+    def _spill_create_vpe(self, vpe, slot, name, pe_type, candidates,
+                          index) -> None:
+        """Ask peer kernels (in id order) to host a VPE this domain has
+        no free PE for; the parent holds the child through a
+        :class:`RemoteVpeObject` capability."""
+        if index >= len(candidates):
+            self._reply(vpe, slot, (
+                "err",
+                f"no free PE of type {pe_type or 'any'} for VPE {name!r}",
+            ))
+            return
+        peer = candidates[index]
+
+        def completion(payload):
+            status, detail = payload
+            if status != "ok":
+                self._spill_create_vpe(vpe, slot, name, pe_type,
+                                       candidates, index + 1)
+                return
+            child_id, node, spm_size = detail
+            child = RemoteVpeObject(remote_id=child_id, kernel_id=peer,
+                                    name=name, node=node)
+            vpe_sel = vpe.captable.insert(Capability(CapKind.VPE, child))
+            spm_cap = Capability(
+                CapKind.MEM, MemObject(node, 0, spm_size, MemoryPerm.RW)
+            )
+            spm_cap.foreign = True
+            spm_sel = vpe.captable.insert(spm_cap)
+            self._reply(vpe, slot, ("ok", (vpe_sel, spm_sel, child_id)))
+
+        self._ik_request(peer, "create_vpe", (name, pe_type), completion)
+
     def _sys_vpe_start(self, vpe, slot, vpe_sel, entry, args):
         child = vpe.captable.get(vpe_sel, CapKind.VPE).obj
+        if isinstance(child, RemoteVpeObject):
+
+            def completion(payload):
+                if payload[0] == "ok":
+                    child.state = VpeState.RUNNING
+                self._reply(vpe, slot, payload)
+
+            self._ik_request(child.kernel_id, "vpe_start",
+                             (child.remote_id, entry, tuple(args)),
+                             completion)
+            return NO_REPLY
         self.start_vpe(child, entry, tuple(args))
         return ()
         yield  # pragma: no cover
 
     def _sys_vpe_wait(self, vpe, slot, vpe_sel):
         child = vpe.captable.get(vpe_sel, CapKind.VPE).obj
+        if isinstance(child, RemoteVpeObject):
+            if child.state == VpeState.DEAD:
+                return child.exit_code
+
+            def completion(payload):
+                if payload[0] == "ok":
+                    child.state = VpeState.DEAD
+                    child.exit_code = payload[1]
+                self._reply(vpe, slot, payload)
+
+            self._ik_request(child.kernel_id, "vpe_wait",
+                             (child.remote_id,), completion)
+            return NO_REPLY
         if child.state == VpeState.DEAD:
             return child.exit_code
         child.waiters.append((vpe, slot))
@@ -504,7 +668,7 @@ class Kernel:
                 f"VPE {child.name!r} is running; only suspended or queued "
                 "VPEs can migrate"
             )
-        target = self.platform.find_free_pe()
+        target = self.platform.find_free_pe(nodes=self.domain)
         if target is None or target.node == self.node:
             raise SyscallError("no free PE to migrate to")
         try:
@@ -521,6 +685,10 @@ class Kernel:
         if not self.multiplexing:
             return (yield from self._sys_vpe_wait(vpe, slot, vpe_sel))
         child = vpe.captable.get(vpe_sel, CapKind.VPE).obj
+        if isinstance(child, RemoteVpeObject):
+            # A spilled child's PE belongs to the peer's domain; plain
+            # cross-domain wait, nothing to yield locally.
+            return (yield from self._sys_vpe_wait(vpe, slot, vpe_sel))
         return (yield from self.ctxsw.wait_yield(vpe, slot, child))
 
     def _sys_exit(self, vpe, slot, exit_code):
@@ -638,6 +806,24 @@ class Kernel:
     def _sys_delegate(self, vpe, slot, vpe_sel, src_sel):
         target = vpe.captable.get(vpe_sel, CapKind.VPE).obj
         source_cap = vpe.captable.get(src_sel)
+        if isinstance(target, RemoteVpeObject):
+            if source_cap.kind != CapKind.MEM:
+                raise SyscallError(
+                    "only memory capabilities can be delegated across "
+                    "kernel domains"
+                )
+            region: MemObject = source_cap.obj
+
+            def completion(payload):
+                self._reply(vpe, slot, payload)
+
+            self._ik_request(
+                target.kernel_id, "delegate_mem",
+                (target.remote_id, region.node, region.address,
+                 region.size, region.perm.value),
+                completion,
+            )
+            return NO_REPLY
         if source_cap.kind == CapKind.RECV and source_cap.obj.active:
             # "the kernel only allows to delegate/obtain send and memory
             # capabilities, but not receive capabilities" once active
@@ -668,15 +854,22 @@ class Kernel:
         if cap.kind == CapKind.RECV and cap.obj.ep_index is not None:
             cap.obj.ep_index = None
         elif cap.kind == CapKind.VPE:
-            vpe: VpeObject = cap.obj
-            if vpe.state != VpeState.DEAD:
+            vpe = cap.obj
+            if isinstance(vpe, RemoteVpeObject):
+                # Best-effort kill in the owning domain; the local proxy
+                # is marked dead immediately.
+                if vpe.state != VpeState.DEAD:
+                    self._ik_request(vpe.kernel_id, "vpe_revoke",
+                                     (vpe.remote_id,), lambda payload: None)
+                    vpe.state = VpeState.DEAD
+            elif vpe.state != VpeState.DEAD:
                 # "the owner of the VPE capability could revoke it to let
                 # the kernel reset the associated PE" (Section 4.5.5).
                 occupant = vpe.pe.occupant
                 if occupant is not None and occupant.alive:
                     occupant.interrupt("vpe-revoked")
                 self.vpe_exited(vpe, None)
-        elif cap.kind == CapKind.MEM and cap.parent is None:
+        elif cap.kind == CapKind.MEM and cap.parent is None and not cap.foreign:
             region: MemObject = cap.obj
             if region.node == self.platform.dram_node:
                 self.memory.free(region.address, region.size)
@@ -715,6 +908,11 @@ class Kernel:
     def _sys_open_session(self, vpe, slot, name):
         service = self.services.get(name)
         if service is None:
+            if self.peers:
+                # Remote service lookup: the name may be registered with
+                # a peer kernel's domain.
+                self._open_remote_session(vpe, slot, name)
+                return NO_REPLY
             raise SyscallError(f"no service {name!r}")
         session_id = service.next_session_id()
         # Negotiate with the service over the kernel<->service channel;
@@ -722,7 +920,9 @@ class Kernel:
         # session asynchronously — the kernel loop must stay responsive
         # because the service may be blocked in a syscall of its own.
         negotiation = next(self._negotiation_ids)
-        self._pending_sessions[negotiation] = (vpe, slot, service, session_id)
+        self._pending_sessions[negotiation] = (
+            "local", vpe, slot, service, session_id
+        )
         yield self.dtu.send(
             self._service_eps[name],
             ("open_session", (session_id, vpe.id)),
@@ -733,14 +933,41 @@ class Kernel:
         return NO_REPLY
 
     def _handle_service_reply(self, slot, message):
-        """Generator: complete a parked session negotiation."""
+        """Generator: complete a parked negotiation — a session being
+        opened with a local service, or an inter-kernel request this
+        kernel sent to a peer."""
         self.dtu.ack_message(KERNEL_REPLY_EP, slot)
+        continuation = self._ik_pending.pop(message.label, None)
+        if continuation is not None:
+            yield self.sim.delay(params.M3_KERNEL_DISPATCH_CYCLES, tag=Tag.OS)
+            continuation(message.payload)
+            return
         pending = self._pending_sessions.pop(message.label, None)
         if pending is None:
             return
-        vpe, syscall_slot, service, session_id = pending
         yield self.sim.delay(params.M3_KERNEL_DISPATCH_CYCLES, tag=Tag.OS)
         status, _detail = message.payload
+        if pending[0] == "remote":
+            # A session negotiated on behalf of a peer kernel's client:
+            # answer over the inter-kernel channel with the service
+            # gate's location so the peer can build the send gate.
+            _kind, ik_slot, service, session_id, client_kernel, client_vpe \
+                = pending
+            if status != "ok":
+                self._ik_reply(ik_slot, (
+                    "err", f"service {service.name!r} denied the session"
+                ))
+                return
+            service.sessions[session_id] = RemoteClientRef(
+                kernel_id=client_kernel, vpe_id=client_vpe
+            )
+            rgate = service.rgate
+            self._ik_reply(ik_slot, (
+                "ok",
+                (session_id, rgate.node, rgate.ep_index, rgate.slot_size),
+            ))
+            return
+        _kind, vpe, syscall_slot, service, session_id = pending
         if status != "ok":
             self._reply(
                 vpe, syscall_slot,
@@ -756,6 +983,47 @@ class Kernel:
         service.sessions[session_id] = vpe
         self._reply(vpe, syscall_slot, ("ok", (session_sel, sgate_sel)))
 
+    def _open_remote_session(self, vpe, slot, name: str) -> None:
+        """Probe peer kernels for service ``name``, cached owner first,
+        then in kernel-id order, until one accepts the session."""
+        candidates = sorted(self.peers)
+        cached = self._remote_services.get(name)
+        if cached in self.peers:
+            candidates.remove(cached)
+            candidates.insert(0, cached)
+        self._probe_remote_service(vpe, slot, name, candidates, 0)
+
+    def _probe_remote_service(self, vpe, slot, name, candidates,
+                              index) -> None:
+        if index >= len(candidates):
+            self._remote_services.pop(name, None)
+            self._reply(vpe, slot, ("err", f"no service {name!r}"))
+            return
+        peer = candidates[index]
+
+        def completion(payload):
+            status, detail = payload
+            if status != "ok":
+                self._probe_remote_service(vpe, slot, name, candidates,
+                                           index + 1)
+                return
+            session_id, rgate_node, rgate_ep, slot_size = detail
+            self._remote_services[name] = peer
+            stub = RemoteGateStub(node=rgate_node, ep_index=rgate_ep,
+                                  slot_size=slot_size)
+            session = SessionObject(
+                service=RemoteServiceRef(name=name, kernel_id=peer),
+                label=session_id, client=vpe,
+            )
+            session_sel = vpe.captable.insert(
+                Capability(CapKind.SESSION, session)
+            )
+            sgate = SendGateObject(target=stub, label=session_id, credits=2)
+            sgate_sel = vpe.captable.insert(Capability(CapKind.SEND, sgate))
+            self._reply(vpe, slot, ("ok", (session_sel, sgate_sel)))
+
+        self._ik_request(peer, "srv_open", (name, vpe.id), completion)
+
     def _sys_srv_delegate(self, vpe, slot, service_sel, session_id,
                           src_mem_sel, offset, size, perm_value):
         service_cap = vpe.captable.get(service_sel, CapKind.SERVICE)
@@ -765,5 +1033,147 @@ class Kernel:
             raise SyscallError(f"no session {session_id} at {service.name!r}")
         source_cap = vpe.captable.get(src_mem_sel, CapKind.MEM)
         derived = source_cap.obj.slice(offset, size, MemoryPerm(perm_value))
+        if isinstance(client, RemoteClientRef):
+            # The client lives in a peer domain: forward the derived
+            # region's descriptor; the peer installs a foreign cap and
+            # replies with the client-side selector.
+            def completion(payload):
+                self._reply(vpe, slot, payload)
+
+            self._ik_request(
+                client.kernel_id, "delegate_mem",
+                (client.vpe_id, derived.node, derived.address,
+                 derived.size, derived.perm.value),
+                completion,
+            )
+            return NO_REPLY
         return client.captable.insert(source_cap.derive(derived))
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Inter-kernel protocol (multi-kernel layouts only).  Requests ride
+    # ordinary DTU messages between kernel send gates; replies come back
+    # on the standard reply endpoint, labelled with a negotiation id
+    # like a session negotiation (see docs/protocols.md).
+    # ------------------------------------------------------------------
+
+    def _ik_request(self, peer: int, operation: str, args: tuple,
+                    continuation) -> None:
+        """Send ``(operation, args)`` to a peer kernel; ``continuation``
+        is a plain (non-blocking) callable run with the peer's reply
+        payload, so the kernel loop never waits on a peer."""
+        negotiation = next(self._negotiation_ids)
+        self._ik_pending[negotiation] = continuation
+        self.ik_requests_sent += 1
+        if self.sim.obs is not None:
+            self.sim.obs.count(f"kernel{self.kernel_id}.ik_requests")
+        self.sim.ledger.charge(Tag.OS, params.M3_KERNEL_REPLY_CYCLES)
+        self.dtu.send(
+            self.peers[peer],
+            (operation, args),
+            IK_MSG_BYTES,
+            reply_ep=KERNEL_REPLY_EP,
+            reply_label=negotiation,
+        )
+
+    def _handle_ik_request(self, slot: int, message):
+        """Generator: serve one request from a peer kernel.  The message
+        label is the sender's kernel id (fixed by its send gate)."""
+        self.ik_requests_served += 1
+        if self.sim.obs is not None:
+            self.sim.obs.count(f"kernel{self.kernel_id}.ik_served")
+        yield self.sim.delay(params.M3_KERNEL_DISPATCH_CYCLES, tag=Tag.OS)
+        operation, args = message.payload
+        handler = getattr(self, f"_ik_{operation}", None)
+        try:
+            if handler is None:
+                raise SyscallError(f"unknown inter-kernel op {operation!r}")
+            result = yield from handler(slot, message.label, *args)
+        except (SyscallError, KeyError, ValueError, TypeError) as exc:
+            reply = ("err", str(exc))
+        else:
+            if result is NO_REPLY:
+                return
+            reply = ("ok", result)
+        self._ik_reply(slot, reply)
+
+    def _ik_reply(self, slot: int, payload) -> None:
+        """Reply to (and thereby acknowledge) a peer kernel's request."""
+        self.sim.ledger.charge(Tag.OS, params.M3_KERNEL_REPLY_CYCLES)
+        self.dtu.reply(KERNEL_IK_EP, slot, payload, IK_MSG_BYTES)
+
+    # -- server side: what this kernel does for its peers ---------------
+
+    def _ik_srv_open(self, slot, sender, name, client_vpe):
+        """A peer kernel asks to open a session with a local service on
+        behalf of one of its VPEs."""
+        service = self.services.get(name)
+        if service is None:
+            raise SyscallError(f"no service {name!r}")
+        session_id = service.next_session_id()
+        negotiation = next(self._negotiation_ids)
+        self._pending_sessions[negotiation] = (
+            "remote", slot, service, session_id, sender, client_vpe
+        )
+        yield self.dtu.send(
+            self._service_eps[name],
+            ("open_session", (session_id, client_vpe)),
+            SYSCALL_MSG_BYTES,
+            reply_ep=KERNEL_REPLY_EP,
+            reply_label=negotiation,
+        )
+        return NO_REPLY
+
+    def _ik_delegate_mem(self, slot, sender, vpe_id, node, address, size,
+                         perm_value):
+        """Install a memory capability delegated from a peer domain.
+        The cap is marked foreign: revoking it must not free the region
+        into this kernel's allocator."""
+        vpe = self.vpes.get(vpe_id)
+        if vpe is None or vpe.state == VpeState.DEAD:
+            raise SyscallError(f"no live VPE {vpe_id} in this domain")
+        cap = Capability(
+            CapKind.MEM, MemObject(node, address, size, MemoryPerm(perm_value))
+        )
+        cap.foreign = True
+        return vpe.captable.insert(cap)
+        yield  # pragma: no cover
+
+    def _ik_create_vpe(self, slot, sender, name, pe_type):
+        """Host a VPE spilled from a peer kernel's full domain."""
+        child = yield from self.create_vpe(name, pe_type)
+        return (child.id, child.node, child.pe.spm_data.size)
+
+    def _ik_vpe_start(self, slot, sender, vpe_id, entry, args):
+        vpe = self.vpes.get(vpe_id)
+        if vpe is None:
+            raise SyscallError(f"no VPE {vpe_id} in this domain")
+        self.start_vpe(vpe, entry, tuple(args))
+        return ()
+        yield  # pragma: no cover
+
+    def _ik_vpe_wait(self, slot, sender, vpe_id):
+        """Cross-domain VPE_WAIT: reply now if the VPE is dead, else
+        park the ring slot until :meth:`vpe_exited` fires the exit
+        notification."""
+        vpe = self.vpes.get(vpe_id)
+        if vpe is None:
+            raise SyscallError(f"no VPE {vpe_id} in this domain")
+        if vpe.state == VpeState.DEAD:
+            return vpe.exit_code
+        vpe.remote_waiters.append(slot)
+        return NO_REPLY
+        yield  # pragma: no cover
+
+    def _ik_vpe_revoke(self, slot, sender, vpe_id):
+        """Best-effort kill of a spilled VPE whose capability was
+        revoked in the owning domain."""
+        vpe = self.vpes.get(vpe_id)
+        if vpe is None or vpe.state == VpeState.DEAD:
+            return ()
+        occupant = vpe.pe.occupant
+        if occupant is not None and occupant.alive:
+            occupant.interrupt("vpe-revoked")
+        self.vpe_exited(vpe, None)
+        return ()
         yield  # pragma: no cover

@@ -14,7 +14,7 @@ import typing
 from repro.dtu.registers import MemoryPerm
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.m3.kernel.vpe import VpeObject
+    from repro.m3.kernel.vpe import VpeObject, VpeState
 
 
 @dataclasses.dataclass
@@ -101,3 +101,67 @@ class SessionObject:
     service: ServiceObject
     label: int
     client: "VpeObject | None" = None
+
+
+# -- inter-kernel proxies ------------------------------------------------------
+#
+# With the PE mesh partitioned into kernel domains, each kernel only
+# holds real objects for its own domain; cross-domain references are
+# carried by the proxies below, exchanged over the inter-kernel
+# protocol (see docs/protocols.md).
+
+
+@dataclasses.dataclass
+class RemoteVpeObject:
+    """A VPE owned by a peer kernel, held through a VPE capability.
+
+    ``remote_id`` is the VPE id *in the owning kernel's namespace*;
+    state/exit_code are cached from inter-kernel replies and may lag
+    the authoritative copy.
+    """
+
+    remote_id: int
+    kernel_id: int
+    name: str
+    node: int
+    state: "VpeState" = None  # type: ignore[assignment]
+    exit_code: object = None
+
+    def __post_init__(self):
+        if self.state is None:
+            from repro.m3.kernel.vpe import VpeState
+
+            self.state = VpeState.INIT
+
+
+@dataclasses.dataclass
+class RemoteGateStub:
+    """Stand-in target for a send gate whose receive gate lives in a
+    peer kernel domain: just enough addressing for the kernel to build
+    the send endpoint configuration.  Always ``active`` — the owning
+    kernel only exports a service gate after it is activated."""
+
+    node: int
+    ep_index: int
+    slot_size: int
+
+    @property
+    def active(self) -> bool:
+        return True
+
+
+@dataclasses.dataclass
+class RemoteServiceRef:
+    """What a cross-domain session's ``service`` field points at."""
+
+    name: str
+    kernel_id: int
+
+
+@dataclasses.dataclass
+class RemoteClientRef:
+    """The owning service's record of a client in a peer domain; memory
+    delegations to such a session are forwarded to ``kernel_id``."""
+
+    kernel_id: int
+    vpe_id: int

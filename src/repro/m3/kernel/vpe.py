@@ -42,6 +42,13 @@ class VpeObject:
         self.waiters: list[tuple] = []
         #: pending vpe_wait_yield replies (context-switching waiters).
         self.yield_waiters: list[tuple] = []
+        #: parked inter-kernel ``vpe_wait`` requests (ringbuffer slots on
+        #: the owning kernel's kernel<->kernel endpoint) — the exit
+        #: notification that makes VPE_WAIT work across kernel domains.
+        self.remote_waiters: list[int] = []
+        #: the kernel that owns this VPE (set at creation; ``None`` only
+        #: for hand-built VPEs in unit tests).
+        self.kernel = None
         #: events the kernel fires on exit (for boot-level joins).
         self.exit_events: list["Event"] = []
         # -- context-switching state (see repro.m3.kernel.ctxsw) --------

@@ -39,9 +39,13 @@ _HEADER = struct.Struct("<HH")
 #: (0 is the kernel; session ids start at 1 and stay well below this).
 IRQ_LABEL = 0xFFFF
 
-#: the NIC's DMA window: one TX slot then the RX ring.
+#: the NIC's DMA window: the TX ring then the RX ring.  The NIC reads
+#: TX frames by DMA *after* the command message, so every in-flight
+#: frame needs its own slot; slots return to the free list when the
+#: NIC's "txdone" interrupt arrives.
 BUFFER_BYTES = 4096
-TX_SLOT = 0
+TX_SLOTS = 8
+TX_SLOT_BYTES = 256
 RX_BASE = 2048
 
 MAX_PAYLOAD = 200
@@ -64,10 +68,12 @@ class NetServ:
         self.buffer: MemGate | None = None
         self.nic_cmd: SendGate | None = None
         self.vpe = None
+        self.nic: NetworkDevice | None = None
         self.sockets: dict[int, _Socket] = {}
         self.ports: dict[int, _Socket] = {}
         self.frames_routed = 0
         self.frames_dropped = 0
+        self._tx_free: list[int] = list(range(TX_SLOTS))
 
     def main(self, env):
         """Generator: runs as the netserv VPE."""
@@ -115,11 +121,23 @@ class NetServ:
     # -- the driver side ------------------------------------------------------
 
     def _handle_irq(self, payload):
-        """Generator: an RX interrupt — fetch and route the frame."""
+        """Generator: a NIC interrupt — route an RX frame or reclaim a
+        TX slot."""
         _kind, name, detail = payload
-        if not detail or detail[0] != "rx":
+        if not detail:
+            return
+        if detail[0] == "txdone":
+            # The NIC finished its DMA read; the slot can be reused.
+            self._tx_free.append(detail[1] // TX_SLOT_BYTES)
+            return
+        if detail[0] != "rx":
             return
         _tag, offset, length = detail
+        if length < _HEADER.size:
+            # A runt frame cannot carry a port header; drop it instead
+            # of crashing the service on the unpack.
+            self.frames_dropped += 1
+            return
         frame = yield from self.buffer.read(offset, length)
         src_port, dst_port = _HEADER.unpack_from(frame)
         socket = self.ports.get(dst_port)
@@ -147,9 +165,13 @@ class NetServ:
         payload = bytes(payload)
         if len(payload) > MAX_PAYLOAD:
             raise ValueError(f"datagram of {len(payload)}B too large")
+        if not self._tx_free:
+            raise ValueError("tx ring full, retry later")
+        slot = self._tx_free.pop(0)
+        offset = slot * TX_SLOT_BYTES
         frame = _HEADER.pack(socket.port or 0, dst_port) + payload
-        yield from self.buffer.write(TX_SLOT, frame)
-        yield from self.nic_cmd.send(("tx", TX_SLOT, len(frame)), 32)
+        yield from self.buffer.write(offset, frame)
+        yield from self.nic_cmd.send(("tx", offset, len(frame)), 32)
         return len(payload)
 
     def _op_recv(self, socket: _Socket):
@@ -216,18 +238,22 @@ def start_network(system: "M3System", service_names=("net", "net2"),
             selector = server.vpe.captable.insert(
                 Capability(CapKind.SEND, command_gate)
             )
-            # interrupt route: NIC -> the service's receive gate
+            # interrupt route: NIC -> the service's receive gate.  The
+            # service *acks* interrupt messages (no reply), which never
+            # refunds send credits — so the endpoint gets effectively
+            # unlimited credits rather than going silent after a burst.
             service = kernel.services[server.service_name]
             yield from kernel.dtu.configure_remote(
                 nic.node, "configure", IRQ_SEND_EP,
                 EndpointRegisters.send_config(
                     target_node=service.rgate.node,
                     target_ep=service.rgate.ep_index,
-                    label=IRQ_LABEL, credits=8,
+                    label=IRQ_LABEL, credits=4096,
                     msg_size=service.rgate.slot_size,
                 ),
             )
             nic.start()
+            server.nic = nic
             server.nic_cmd = SendGate(server.env, selector)
 
     system.sim.run_process(wire_devices(), "wire-network")

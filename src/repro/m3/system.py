@@ -27,7 +27,8 @@ class M3System:
     """The booted OS: kernel + services on a :class:`Platform`."""
 
     def __init__(self, platform: Platform | None = None, pe_count: int = 8,
-                 kernel_node: int = 0, multiplexing: bool = False,
+                 kernel_node: int = 0, kernel_count: int = 1,
+                 multiplexing: bool = False,
                  auto_rebalance: bool = False, reliable: bool = False,
                  observe: bool = False, **platform_kwargs):
         self.platform = platform or Platform.build(pe_count, **platform_kwargs)
@@ -38,16 +39,58 @@ class M3System:
         self.sim = self.platform.sim
         if observe:
             self.enable_observability()
-        self.kernel = Kernel(self.platform, node=kernel_node)
-        self.kernel.start_software = self._start_software
-        self.kernel.multiplexing = multiplexing
-        self.kernel.auto_rebalance = auto_rebalance
+        #: the booted kernels, one per domain.  ``kernel_count=1`` is the
+        #: classic layout (one kernel owning the whole mesh) and stays
+        #: cycle-identical to it; ``kernel_count>1`` partitions the PE
+        #: mesh into contiguous domains, each with its own kernel, VPE
+        #: table, service registry, and DRAM shard, cooperating over the
+        #: inter-kernel protocol (see docs/protocols.md).
+        self.kernels: list[Kernel] = []
+        if kernel_count <= 1:
+            self.kernel = Kernel(self.platform, node=kernel_node)
+            self.kernels = [self.kernel]
+        else:
+            pe_nodes = [pe.node for pe in self.platform.pes]
+            if len(pe_nodes) < 2 * kernel_count:
+                raise ValueError(
+                    f"{len(pe_nodes)} PEs cannot host {kernel_count} kernel "
+                    "domains (each needs a kernel PE plus at least one "
+                    "application PE)"
+                )
+            share, extra = divmod(len(pe_nodes), kernel_count)
+            dram_share = self.platform.dram.memory.size // kernel_count
+            start = 0
+            for domain_id in range(kernel_count):
+                size = share + (1 if domain_id < extra else 0)
+                chunk = pe_nodes[start:start + size]
+                start += size
+                kernel = Kernel(
+                    self.platform,
+                    node=chunk[0],
+                    kernel_id=domain_id,
+                    domain=set(chunk),
+                    dram_base=domain_id * dram_share,
+                    dram_bytes=dram_share,
+                )
+                kernel.label = f"kernel{domain_id}"
+                self.kernels.append(kernel)
+            for kernel in self.kernels:
+                kernel.set_peers({
+                    other.kernel_id: other.node
+                    for other in self.kernels if other is not kernel
+                })
+            self.kernel = self.kernels[0]
+        for kernel in self.kernels:
+            kernel.start_software = self._start_software
+            kernel.multiplexing = multiplexing
+            kernel.auto_rebalance = auto_rebalance
         #: program name -> entry generator function, for ``VPE.exec``.
         self.programs: dict[str, typing.Callable] = {}
         self.fs_server: "M3fsServer | None" = None
         #: all filesystem service instances by service name.
         self.fs_servers: dict[str, "M3fsServer"] = {}
         self._kernel_process = None
+        self._kernel_processes: list = []
         #: (vpe, process) pairs for crash reporting.
         self._app_processes: list = []
         #: serial console: (cycle, vpe_id, line) records.
@@ -72,25 +115,32 @@ class M3System:
     # -- boot -----------------------------------------------------------------
 
     def boot(self, with_fs: bool = True, fs_kwargs: dict | None = None) -> "M3System":
-        """Run the kernel boot sequence and start services; returns self."""
-        self.sim.run_process(self.kernel.boot(), "kernel.boot")
-        self._kernel_process = self.kernel.pe.run(self.kernel.run(), "kernel")
+        """Run the kernel boot sequence(s) and start services; returns self."""
+        for kernel in self.kernels:
+            self.sim.run_process(kernel.boot(), f"{kernel.label}.boot")
+            self._kernel_processes.append(
+                kernel.pe.run(kernel.run(), kernel.label)
+            )
+        self._kernel_process = self._kernel_processes[0]
         if with_fs:
             self.start_m3fs(**(fs_kwargs or {}))
         return self
 
-    def start_m3fs(self, name: str = "m3fs", **fs_kwargs) -> "M3fsServer":
+    def start_m3fs(self, name: str = "m3fs", domain: int | None = None,
+                   **fs_kwargs) -> "M3fsServer":
         """Start an m3fs service instance and wait until it is registered.
 
         Multiple instances (the paper's Section 7 future work) are
         supported by giving each a distinct service name; clients pick
-        theirs via ``M3fsClient.connect(env, service=name)``.
+        theirs via ``M3fsClient.connect(env, service=name)``.  With a
+        partitioned mesh, ``domain`` places the instance in a specific
+        kernel domain.
         """
         from repro.m3.services.m3fs.server import M3fsServer
 
         server = M3fsServer(service_name=name, **fs_kwargs)
         server.ready = self.sim.event(f"{name}.ready")
-        vpe = self.spawn(server.main, name=name)
+        vpe = self.spawn(server.main, name=name, domain=domain)
         self.sim.run(until_event=server.ready)
         if not server.ready.triggered:
             raise RuntimeError(f"{name} failed to start")
@@ -110,7 +160,10 @@ class M3System:
             except KeyError:
                 raise RuntimeError(f"no program {name!r} registered") from None
         env = Env(self, vpe.id, vpe.pe)
-        self.kernel.envs[vpe.id] = env
+        # Register the env with the *owning* kernel (spilled VPEs run in
+        # a peer domain whose kernel drives their context switches).
+        kernel = getattr(vpe, "kernel", None) or self.kernel
+        kernel.envs[vpe.id] = env
         process = vpe.pe.run(self._wrap(env, entry, args), name=vpe.name)
         self._app_processes.append((vpe, process))
 
@@ -136,16 +189,20 @@ class M3System:
     # -- running applications ---------------------------------------------------------
 
     def spawn(self, entry, *args, name: str = "app",
-              pe_type: str | None = None) -> VpeObject:
+              pe_type: str | None = None,
+              domain: int | None = None) -> VpeObject:
         """Create a root VPE and start ``entry(env, *args)`` on it.
 
         Used for boot modules and benchmark top-level applications;
         applications themselves use :class:`repro.m3.lib.vpe.VPE`.
+        With a partitioned mesh, ``domain`` selects which kernel domain
+        hosts the VPE (default: the first).
         """
+        kernel = self.kernel if domain is None else self.kernels[domain]
 
         def create():
-            vpe = yield from self.kernel.create_vpe(name, pe_type)
-            self.kernel.start_vpe(vpe, entry, args)
+            vpe = yield from kernel.create_vpe(name, pe_type)
+            kernel.start_vpe(vpe, entry, args)
             return vpe
 
         return self.sim.run_process(create(), f"spawn.{name}")
@@ -159,6 +216,9 @@ class M3System:
         from repro.m3.kernel.vpe import VpeState
 
         if vpe.state == VpeState.DEAD:
+            # An already-dead VPE may have died *crashing*; surface that
+            # instead of silently handing back a None exit code.
+            self.raise_crashes()
             return vpe.exit_code
         exit_event = self.sim.event(f"{vpe.name}.exit")
         vpe.exit_events.append(exit_event)
@@ -175,8 +235,7 @@ class M3System:
         """Re-raise the first uncaught exception of the kernel or any
         application VPE."""
         processes = [p for _v, p in self._app_processes]
-        if self._kernel_process is not None:
-            processes.append(self._kernel_process)
+        processes.extend(self._kernel_processes)
         for process in processes:
             done = process.done
             if done.triggered and not done.ok:

@@ -4,17 +4,21 @@ import multiprocessing
 
 import pytest
 
-from repro.eval import runall, tab_arm
+from repro.eval import fig6_multikernel, runall, tab_arm
 
 
 def test_build_jobs_is_deterministic_and_complete():
     jobs = runall.build_jobs()
     assert jobs == runall.build_jobs()  # fixed order, every call
     kinds = {job[0] for job in jobs}
-    assert kinds == {"fig6-point", "figure", "ablation"}
+    assert kinds == {"fig6-point", "fig6mk-point", "figure", "ablation"}
     points = [job for job in jobs if job[0] == "fig6-point"]
     assert len(points) == (
         len(runall.FIG6_BENCHMARKS) * len(runall.FIG6_INSTANCE_COUNTS)
+    )
+    mk_points = [job for job in jobs if job[0] == "fig6mk-point"]
+    assert len(mk_points) == (
+        len(fig6_multikernel.BENCHMARKS) * len(fig6_multikernel.KERNEL_COUNTS)
     )
     figures = {job[1] for job in jobs if job[0] == "figure"}
     assert figures == set(runall._FIGURES)
@@ -25,6 +29,9 @@ def test_build_jobs_select_filters_by_output_name():
     assert jobs == [("ablation", "abl_cache"), ("figure", "tab_arm")]
     assert runall.build_jobs(select=["fig6_scale"]) == [
         job for job in runall.build_jobs() if job[0] == "fig6-point"
+    ]
+    assert runall.build_jobs(select=["fig6_multikernel"]) == [
+        job for job in runall.build_jobs() if job[0] == "fig6mk-point"
     ]
 
 

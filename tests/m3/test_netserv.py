@@ -160,3 +160,137 @@ def test_frames_move_real_bytes_through_dma(net_system):
 
     raw = dram.read(region.address + RX_BASE, 64)
     assert b"dma-visible" in raw
+
+
+def test_rapid_sends_do_not_clobber_in_flight_frames(net_system):
+    """Regression: every frame gets its own TX slot.  The NIC DMA-reads
+    a frame *after* acknowledging the command, so back-to-back sends
+    through one slot would overwrite frames still being read."""
+    system, servers = net_system
+    payloads = [b"frame-%d" % i for i in range(4)]
+
+    def receiver(env):
+        client = yield from NetClient.connect(env, "net2")
+        yield from client.request("bind", 91)
+        got = []
+        for _ in payloads:
+            _src, payload = yield from client.recv_blocking()
+            got.append(bytes(payload))
+        return got
+
+    def sender(env):
+        client = yield from NetClient.connect(env, "net")
+        yield from client.request("bind", 90)
+        for payload in payloads:
+            yield from client.request("send_to", 91, payload)
+        return ()
+
+    receiver_vpe = system.spawn(receiver, name="rx")
+    system.sim.run(until=system.sim.now + 30_000)
+    system.run_app(sender, name="tx")
+    assert system.wait(receiver_vpe) == payloads
+    assert servers[1].frames_routed == len(payloads)
+    assert servers[1].frames_dropped == 0
+    # all slots returned to the free list once the txdone irqs drained
+    system.sim.run(until=system.sim.now + 30_000)
+    assert sorted(servers[0]._tx_free) == list(range(8))
+
+
+def test_concurrent_sessions_share_the_tx_ring(net_system):
+    """Two client sessions sending at the same time: all datagrams
+    arrive intact, none truncated or cross-wired."""
+    system, servers = net_system
+
+    def receiver(env):
+        client = yield from NetClient.connect(env, "net2")
+        yield from client.request("bind", 80)
+        got = set()
+        for _ in range(4):
+            src, payload = yield from client.recv_blocking()
+            got.add((src, bytes(payload)))
+        return sorted(got)
+
+    def sender(env, port, tag):
+        client = yield from NetClient.connect(env, "net")
+        yield from client.request("bind", port)
+        for index in range(2):
+            yield from client.request(
+                "send_to", 80, b"%s-%d" % (tag, index)
+            )
+        return ()
+
+    receiver_vpe = system.spawn(receiver, name="rx")
+    system.sim.run(until=system.sim.now + 30_000)
+    a = system.spawn(sender, 71, b"alpha", name="tx-a")
+    b = system.spawn(sender, 72, b"beta", name="tx-b")
+    system.wait(a)
+    system.wait(b)
+    assert system.wait(receiver_vpe) == [
+        (71, b"alpha-0"), (71, b"alpha-1"),
+        (72, b"beta-0"), (72, b"beta-1"),
+    ]
+    assert servers[1].frames_dropped == 0
+
+
+def test_runt_frame_is_dropped_not_crashing(net_system):
+    """Regression: a frame shorter than the port header is counted as
+    dropped instead of killing the service with a struct.error."""
+    system, servers = net_system
+    nic0 = servers[0].nic
+    nic0.wire.transmit(nic0, b"xy")  # 2 bytes: no room for <HH
+    system.sim.run(until=system.sim.now + 30_000)
+    assert servers[1].frames_dropped == 1
+    assert servers[1].frames_routed == 0
+
+    # the service survived and still routes well-formed datagrams
+    def receiver(env):
+        client = yield from NetClient.connect(env, "net2")
+        yield from client.request("bind", 60)
+        return (yield from client.recv_blocking())
+
+    def sender(env):
+        client = yield from NetClient.connect(env, "net")
+        yield from client.request("bind", 61)
+        yield from client.request("send_to", 60, b"still alive")
+        return ()
+
+    receiver_vpe = system.spawn(receiver, name="rx")
+    system.sim.run(until=system.sim.now + 30_000)
+    system.run_app(sender, name="tx")
+    src, payload = system.wait(receiver_vpe)
+    assert (src, bytes(payload)) == (61, b"still alive")
+
+
+def test_rebind_frees_the_old_port(net_system):
+    system, _servers = net_system
+
+    def app(env):
+        a = yield from NetClient.connect(env, "net")
+        yield from a.request("bind", 50)
+        yield from a.request("bind", 51)  # rebinding releases port 50
+        b = yield from NetClient.connect(env, "net")
+        yield from b.request("bind", 50)  # now free again
+        return ()
+
+    system.run_app(app)
+
+
+def test_unbound_socket_sends_with_source_port_zero(net_system):
+    system, _servers = net_system
+
+    def receiver(env):
+        client = yield from NetClient.connect(env, "net2")
+        yield from client.request("bind", 33)
+        return (yield from client.recv_blocking())
+
+    def sender(env):
+        client = yield from NetClient.connect(env, "net")
+        # no bind: the datagram still goes out, src port 0
+        yield from client.request("send_to", 33, b"anon")
+        return ()
+
+    receiver_vpe = system.spawn(receiver, name="rx")
+    system.sim.run(until=system.sim.now + 30_000)
+    system.run_app(sender, name="tx")
+    src, payload = system.wait(receiver_vpe)
+    assert (src, bytes(payload)) == (0, b"anon")
