@@ -26,6 +26,7 @@ from repro.dtu.message import (
 from repro.dtu.registers import EndpointKind, EndpointRegisters, MemoryPerm
 from repro.dtu.ringbuffer import DUPLICATE, RingBuffer
 from repro.noc.packet import Packet
+from repro.obs.causal import NO_CONTEXT
 from repro.sim.ledger import Tag
 from repro.sim.resources import Signal
 
@@ -191,6 +192,7 @@ class DTU:
         if self._reliable:
             seq = next(self._send_seq)
             crc = payload_crc(ep.label, length, payload)
+        ctx, msg_span = self._stamp_context()
         header = MessageHeader(
             label=ep.label,
             length=length,
@@ -200,6 +202,8 @@ class DTU:
             credit_ep=ep_index,
             seq=seq,
             crc=crc,
+            trace_id=ctx.trace_id,
+            parent_span=msg_span,
         )
         message = Message(header, payload)
         packet = Packet(
@@ -208,6 +212,8 @@ class DTU:
             kind="message",
             size_bytes=message.size_bytes(),
             payload=(ep.target_ep, message),
+            trace_id=ctx.trace_id,
+            trace_parent=msg_span,
         )
         self.messages_sent += 1
         if not self._reliable:
@@ -219,8 +225,22 @@ class DTU:
                 on_give_up=lambda: self._reconcile_credit(ep_index),
             )
         if self.sim.obs is not None:
-            self._observe_message(packet, done)
+            self._observe_message(packet, done, msg_span, ctx)
         return done
+
+    def _stamp_context(self):
+        """The trace context to stamp on an outgoing message, plus a
+        reserved span id for the message's own DTU span (the parent the
+        receiver's handler spans adopt).  ``(NO_CONTEXT, -1)`` when
+        observability is off or the sending node has no active request.
+        """
+        obs = self.sim.obs
+        if obs is None:
+            return NO_CONTEXT, -1
+        ctx = obs.causal.current(self.node)
+        if not ctx.valid:
+            return NO_CONTEXT, -1
+        return ctx, obs.reserve_span_id()
 
     def _reconcile_credit(self, ep_index: int) -> None:
         """Refund the credit of a send that was given up on, so a dead
@@ -253,8 +273,10 @@ class DTU:
         if self._reliable:
             seq = next(self._send_seq)
             crc = payload_crc(original.header.reply_label, length, payload)
+        ctx, msg_span = self._stamp_context()
         header = MessageHeader(
-            label=original.header.reply_label, length=length, seq=seq, crc=crc
+            label=original.header.reply_label, length=length, seq=seq,
+            crc=crc, trace_id=ctx.trace_id, parent_span=msg_span,
         )
         message = Message(header, payload)
         packet = Packet(
@@ -263,6 +285,8 @@ class DTU:
             kind="reply",
             size_bytes=message.size_bytes(),
             payload=(original.header.reply_ep, message, original.header.credit_ep),
+            trace_id=ctx.trace_id,
+            trace_parent=msg_span,
         )
         ringbuf.ack(slot)
         if not self._reliable:
@@ -270,15 +294,19 @@ class DTU:
         else:
             done = self._inject(packet, retx_key=("msg", seq))
         if self.sim.obs is not None:
-            self._observe_message(packet, done)
+            self._observe_message(packet, done, msg_span, ctx)
         return done
 
-    def _observe_message(self, packet: Packet, done: "Event") -> None:
+    def _observe_message(self, packet: Packet, done: "Event",
+                         span_id: int = -1, parent=NO_CONTEXT) -> None:
         """Record a message/reply span and its round-trip histogram.
 
         The span closes (and the sample lands) when ``done`` triggers:
         delivery completion in best-effort mode, the hardware ack in
-        reliable mode — i.e. the true round trip.
+        reliable mode — i.e. the true round trip.  ``span_id``/``parent``
+        are the stamped causal identity: the context captured *now*, at
+        send time — by completion the node may be working for someone
+        else, so the callback must not consult the context stack.
         """
         obs = self.sim.obs
         obs.count(f"dtu.sends.{packet.kind}")
@@ -290,6 +318,7 @@ class DTU:
             obs.observe("dtu.msg_rtt", self.sim.now - started)
             obs.complete(
                 packet.kind, "dtu", self.node, started,
+                span_id=span_id, parent=parent,
                 destination=packet.destination, bytes=packet.size_bytes,
             )
 
@@ -399,12 +428,15 @@ class DTU:
         transaction = next(self._transaction_ids)
         done = self.sim.event(f"dtu{self.node}.{kind}#{transaction}")
         self._pending[transaction] = done
+        ctx, txn_span = self._stamp_context()
         packet = Packet(
             source=self.node,
             destination=target,
             kind=kind,
             size_bytes=request_bytes,
             payload=payload_builder(transaction),
+            trace_id=ctx.trace_id,
+            trace_parent=txn_span,
         )
         started = self.sim.now
         self._inject_transaction(packet, transaction, expect_bytes)
@@ -412,6 +444,13 @@ class DTU:
         # Whole round trip (inject + request + service + response) is
         # transfer time from the core's point of view.
         self.sim.ledger.charge(Tag.XFER, self.sim.now - started)
+        if self.sim.obs is not None:
+            # The RDMA round trip as one DTU span; the request and
+            # response packets' NoC spans hang off it via the stamp.
+            self.sim.obs.complete(
+                kind, "dtu", self.node, started, span_id=txn_span,
+                parent=ctx, destination=target, bytes=request_bytes,
+            )
         return response
 
     def _inject_transaction(self, packet: Packet, transaction: int,
@@ -462,17 +501,25 @@ class DTU:
         transaction = next(self._transaction_ids)
         done = self.sim.event(f"dtu{self.node}.config#{transaction}")
         self._pending[transaction] = done
+        ctx, txn_span = self._stamp_context()
         packet = Packet(
             source=self.node,
             destination=target_node,
             kind="ep_config",
             size_bytes=64,
             payload=(transaction, self.privileged, operation, args),
+            trace_id=ctx.trace_id,
+            trace_parent=txn_span,
         )
         self._inject_transaction(packet, transaction)
         started = self.sim.now
         result = yield done
         self.sim.ledger.charge(Tag.XFER, self.sim.now - started)
+        if self.sim.obs is not None:
+            self.sim.obs.complete(
+                "ep_config", "dtu", self.node, started, span_id=txn_span,
+                parent=ctx, destination=target_node, operation=operation,
+            )
         if result == "denied":
             raise NoPermission(
                 f"DTU at node {self.node} is not privileged to configure "
@@ -586,11 +633,13 @@ class DTU:
         elif packet.kind == "mem_read":
             transaction, address, length = packet.payload
             data = self.local_memory.read(address, length)
-            self._respond_memory(packet.source, transaction, data, len(data))
+            self._respond_memory(packet.source, transaction, data, len(data),
+                                 request=packet)
         elif packet.kind == "mem_write":
             transaction, address, data = packet.payload
             self.local_memory.write(address, bytes(data))
-            self._respond_memory(packet.source, transaction, b"", 0)
+            self._respond_memory(packet.source, transaction, b"", 0,
+                                 request=packet)
         elif packet.kind == "mem_resp":
             transaction, data = packet.payload
             self._complete_transaction(transaction, data)
@@ -607,6 +656,10 @@ class DTU:
                     kind="config_ack",
                     size_bytes=16,
                     payload=(transaction, result),
+                    # The ack inherits the request's trace, completing
+                    # the transaction round trip in the causal graph.
+                    trace_id=packet.trace_id,
+                    trace_parent=packet.trace_parent,
                 )
             )
         elif packet.kind == "config_ack":
@@ -694,7 +747,11 @@ class DTU:
         )
 
     def _respond_memory(self, requester: int, transaction: int, data: bytes,
-                        size: int) -> None:
+                        size: int, request: Packet | None = None) -> None:
+        # The response rides the request's trace context, so the RDMA
+        # completion's NoC span joins the originating request tree.
+        trace_id = request.trace_id if request is not None else -1
+        trace_parent = request.trace_parent if request is not None else -1
         self.sim.schedule(
             SPM_ACCESS_CYCLES,
             lambda _: self.network.send(
@@ -704,6 +761,8 @@ class DTU:
                     kind="mem_resp",
                     size_bytes=size,
                     payload=(transaction, data),
+                    trace_id=trace_id,
+                    trace_parent=trace_parent,
                 )
             ),
         )

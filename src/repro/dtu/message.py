@@ -38,6 +38,14 @@ class MessageHeader:
     seq: int = -1
     #: CRC over (label, length, payload); 0 on best-effort messages.
     crc: int = 0
+    #: causal trace context, stamped by the sending DTU when an
+    #: Observer is installed.  Like seq/CRC these ride the padding of
+    #: the 16-byte header, so tracing does not change any wire size.
+    #: ``trace_id < 0`` means the message is untraced.
+    trace_id: int = -1
+    #: span id of this message's own DTU span at the sender — the
+    #: parent that receiver-side handler spans adopt.
+    parent_span: int = -1
 
 
 @dataclasses.dataclass(frozen=True)

@@ -32,6 +32,7 @@ import sys
 
 from repro.eval import (
     ablations,
+    critical_path,
     fault_tolerance,
     fig3_micro,
     fig4_extents,
@@ -82,6 +83,11 @@ def _fault_tolerance() -> dict:
             fault_tolerance.render(fault_tolerance.run()) + "\n"}
 
 
+def _critical_path() -> dict:
+    return {"critical_path.txt":
+            critical_path.bench_table(critical_path.run()) + "\n"}
+
+
 def _profile() -> dict:
     system = profile.run()
     trace = to_chrome_trace(system.sim.obs)
@@ -102,6 +108,7 @@ _FIGURES = {
     "tab_arm": _tab_arm,
     "fault_tolerance": _fault_tolerance,
     "profile": _profile,
+    "critical_path": _critical_path,
 }
 
 
@@ -155,7 +162,7 @@ def build_jobs(select: list[str] | None = None) -> list[tuple]:
         if wanted(name):
             jobs.append(("ablation", name))
     for name in ("fig3_micro", "fig4_extents", "fig7_accel", "tab_arm",
-                 "profile"):
+                 "profile", "critical_path"):
         if wanted(name):
             jobs.append(("figure", name))
     return jobs

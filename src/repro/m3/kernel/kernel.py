@@ -30,6 +30,7 @@ from repro.m3.kernel.objects import (
     SessionObject,
 )
 from repro.m3.kernel.vpe import VpeObject, VpeState
+from repro.obs.causal import header_context
 from repro.sim.ledger import Tag
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -509,15 +510,28 @@ class Kernel:
         """Generator: dispatch one syscall message and reply."""
         self.syscall_count += 1
         obs = self.sim.obs
-        if obs is not None and self.peers:
-            obs.count(f"kernel{self.kernel_id}.syscalls")
         started = self.sim.now
         vpe = self.vpes.get(message.label)
+        # The opcode is parsed up front (a pure read) so the kernel
+        # span carries it from the start; the span adopts the client's
+        # trace context from the message header, linking the kernel's
+        # work — and every send/config it performs — to the request.
+        opcode, args = message.payload
+        span = -1
+        if obs is not None:
+            if self.peers:
+                obs.count(f"kernel{self.kernel_id}.syscalls")
+            span = obs.begin(
+                opcode, "syscall", self.node,
+                parent=header_context(message.header),
+                vpe=-1 if vpe is None else vpe.id,
+            )
         yield self.sim.delay(params.M3_KERNEL_DISPATCH_CYCLES, tag=Tag.OS)
         if vpe is None:
             self.dtu.ack_message(KERNEL_SYSCALL_EP, slot)
+            if obs is not None:
+                obs.end(span, status="no-vpe")
             return
-        opcode, args = message.payload
         handler = getattr(self, f"_sys_{opcode}", None)
         try:
             if handler is None:
@@ -530,16 +544,14 @@ class Kernel:
             if result is NO_REPLY:
                 if obs is not None:
                     obs.observe("kernel.syscall_cycles", self.sim.now - started)
-                    obs.complete(opcode, "syscall", self.node, started,
-                                 vpe=vpe.id, phase="deferred")
+                    obs.end(span, phase="deferred")
                 return
             reply = ("ok", result)
         yield self.sim.delay(params.M3_KERNEL_REPLY_CYCLES, tag=Tag.OS)
         yield self.dtu.reply(KERNEL_SYSCALL_EP, slot, reply, SYSCALL_MSG_BYTES)
         if obs is not None:
             obs.observe("kernel.syscall_cycles", self.sim.now - started)
-            obs.complete(opcode, "syscall", self.node, started,
-                         vpe=vpe.id, status=reply[0])
+            obs.end(span, status=reply[0])
 
     def _reply(self, vpe: VpeObject, slot: int, payload) -> None:
         """Late reply to a deferred syscall (fire-and-forget).
@@ -936,16 +948,47 @@ class Kernel:
         """Generator: complete a parked negotiation — a session being
         opened with a local service, or an inter-kernel request this
         kernel sent to a peer."""
+        obs = self.sim.obs
         self.dtu.ack_message(KERNEL_REPLY_EP, slot)
         continuation = self._ik_pending.pop(message.label, None)
         if continuation is not None:
+            # A peer kernel answered an inter-kernel request: the
+            # continuation runs as a child of the peer's reply message,
+            # so the cross-domain hop stays on the causal chain.
+            span = -1
+            if obs is not None:
+                span = obs.begin("ik_reply", "ik", self.node,
+                                 parent=header_context(message.header))
             yield self.sim.delay(params.M3_KERNEL_DISPATCH_CYCLES, tag=Tag.OS)
-            continuation(message.payload)
+            try:
+                continuation(message.payload)
+            finally:
+                if obs is not None:
+                    obs.end(span)
             return
         pending = self._pending_sessions.pop(message.label, None)
         if pending is None:
             return
+        span = -1
+        if obs is not None:
+            # Finishing a parked session negotiation: on behalf of a
+            # peer domain ("remote" — inter-kernel work) or of a local
+            # client's open_session syscall.
+            name, category = (
+                ("srv_open.finish", "ik") if pending[0] == "remote"
+                else ("open_session.finish", "syscall")
+            )
+            span = obs.begin(name, category, self.node,
+                             parent=header_context(message.header))
         yield self.sim.delay(params.M3_KERNEL_DISPATCH_CYCLES, tag=Tag.OS)
+        try:
+            self._finish_pending_session(pending, message)
+        finally:
+            if obs is not None:
+                obs.end(span)
+
+    def _finish_pending_session(self, pending, message) -> None:
+        """Complete one parked session negotiation (service replied)."""
         status, _detail = message.payload
         if pending[0] == "remote":
             # A session negotiated on behalf of a peer kernel's client:
@@ -1080,10 +1123,17 @@ class Kernel:
         """Generator: serve one request from a peer kernel.  The message
         label is the sender's kernel id (fixed by its send gate)."""
         self.ik_requests_served += 1
-        if self.sim.obs is not None:
-            self.sim.obs.count(f"kernel{self.kernel_id}.ik_served")
-        yield self.sim.delay(params.M3_KERNEL_DISPATCH_CYCLES, tag=Tag.OS)
+        obs = self.sim.obs
         operation, args = message.payload
+        span = -1
+        if obs is not None:
+            obs.count(f"kernel{self.kernel_id}.ik_served")
+            # Served as a child of the peer's request message: spans for
+            # cross-domain work land in the originating request's tree.
+            span = obs.begin(operation, "ik", self.node,
+                             parent=header_context(message.header),
+                             peer=message.label)
+        yield self.sim.delay(params.M3_KERNEL_DISPATCH_CYCLES, tag=Tag.OS)
         handler = getattr(self, f"_ik_{operation}", None)
         try:
             if handler is None:
@@ -1093,9 +1143,13 @@ class Kernel:
             reply = ("err", str(exc))
         else:
             if result is NO_REPLY:
+                if obs is not None:
+                    obs.end(span, phase="deferred")
                 return
             reply = ("ok", result)
         self._ik_reply(slot, reply)
+        if obs is not None:
+            obs.end(span, status=reply[0])
 
     def _ik_reply(self, slot: int, payload) -> None:
         """Reply to (and thereby acknowledge) a peer kernel's request."""

@@ -118,22 +118,35 @@ class Env:
         self.syscall_count += 1
         obs = self.sim.obs
         started = self.sim.now
+        # The client span is the root of the request's causal trace
+        # (unless this syscall itself runs on behalf of another traced
+        # request, e.g. from a service handler): the DTU stamps the
+        # trace context into the message header, and everything the
+        # kernel (and any service) does for this syscall hangs off it.
+        span = -1
+        if obs is not None:
+            span = obs.begin(opcode, "syscall-client", self.pe.node,
+                             vpe=self.vpe_id)
         payload = (opcode, args)
-        yield self.sim.delay(params.M3_SYSCALL_CLIENT_CYCLES, tag=Tag.OS)
-        self.dtu.send(
-            self.EP_SYSCALL,
-            payload,
-            min(wire_size(payload), SYSCALL_MSG_BYTES),
-            reply_ep=self.EP_REPLY,
-        )
-        slot, reply = yield from self._await_reply()
+        try:
+            yield self.sim.delay(params.M3_SYSCALL_CLIENT_CYCLES, tag=Tag.OS)
+            self.dtu.send(
+                self.EP_SYSCALL,
+                payload,
+                min(wire_size(payload), SYSCALL_MSG_BYTES),
+                reply_ep=self.EP_REPLY,
+            )
+            slot, reply = yield from self._await_reply()
+        except BaseException:
+            if obs is not None:
+                obs.end(span, outcome="interrupted")
+            raise
         self.dtu.ack_message(self.EP_REPLY, slot)
         if obs is not None:
             # Client-observed syscall round trip: request marshalling,
             # both DTU transfers, and the kernel's handling.
             obs.observe("m3.syscall_rtt", self.sim.now - started)
-            obs.complete(opcode, "syscall-client", self.pe.node, started,
-                         vpe=self.vpe_id)
+            obs.end(span)
         status, result = reply.payload
         if status != "ok":
             raise SyscallError(result)

@@ -40,10 +40,25 @@ class M3fsClient:
         """
         from repro import params
 
-        yield self.env.sim.delay(params.M3FS_CLIENT_RPC_CYCLES, tag="os")
-        message = yield from self.sgate.call(
-            (operation, args), self.reply_gate
-        )
+        obs = self.env.sim.obs
+        # Root (or child, when called under a traced span) of the
+        # request's causal trace: the send gate's DTU message carries
+        # the context to the service.
+        span = -1
+        if obs is not None:
+            span = obs.begin(operation, "m3fs-client", self.env.pe.node,
+                             vpe=self.env.vpe_id)
+        try:
+            yield self.env.sim.delay(params.M3FS_CLIENT_RPC_CYCLES, tag="os")
+            message = yield from self.sgate.call(
+                (operation, args), self.reply_gate
+            )
+        except BaseException:
+            if obs is not None:
+                obs.end(span, outcome="interrupted")
+            raise
+        if obs is not None:
+            obs.end(span)
         status, result = message.payload
         if status != "ok":
             raise FsError(result)

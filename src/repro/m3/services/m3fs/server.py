@@ -18,6 +18,7 @@ from repro.m3.kernel import syscalls
 from repro.m3.lib.gate import MemGate, RecvGate
 from repro.m3.services.m3fs.fs import FsError, M3FS
 from repro.m3.services.m3fs.superblock import SuperBlock
+from repro.obs.causal import header_context
 
 #: maximum extents returned per get_locs reply (bounded by the reply
 #: message slot size, as on real hardware).
@@ -102,9 +103,18 @@ class M3fsServer:
             slot, message = yield from rgate.receive()
             obs = env.sim.obs
             started = env.sim.now
+            operation, args = message.payload
+            # The service span adopts the request's trace context from
+            # the message header, so everything done here — including
+            # delegation syscalls back to the kernel — stays causally
+            # linked to the client's request.
+            span = -1
+            if obs is not None:
+                span = obs.begin(operation, "m3fs", env.pe.node,
+                                 parent=header_context(message.header),
+                                 service=self.service_name)
             yield env.os_work(params.M3FS_SERVER_CYCLES)
             self.requests_served += 1
-            operation, args = message.payload
             if message.label == 0:
                 # The kernel<->service channel: session management.
                 if operation == "open_session":
@@ -128,8 +138,7 @@ class M3fsServer:
             if obs is not None:
                 obs.count(f"m3fs.{self.service_name}.requests")
                 obs.observe("m3fs.request_cycles", env.sim.now - started)
-                obs.complete(operation, "m3fs", env.pe.node, started,
-                             service=self.service_name, status=response[0])
+                obs.end(span, status=response[0])
 
     # -- capability delegation ----------------------------------------------
 

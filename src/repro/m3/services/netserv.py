@@ -207,6 +207,9 @@ def start_network(system: "M3System", service_names=("net", "net2"),
         system.sim.run(until_event=server.ready)
         server.vpe = vpe
         servers.append(server)
+        if system.sim.obs is not None:
+            system.sim.obs.label_node(nic.node, f"nic:{nic.name}")
+            system.sim.obs.label_node(vpe.node, f"service:{name}")
     wire.connect(nics[0], nics[1])
 
     def wire_devices():

@@ -116,6 +116,12 @@ class M3System:
 
     def boot(self, with_fs: bool = True, fs_kwargs: dict | None = None) -> "M3System":
         """Run the kernel boot sequence(s) and start services; returns self."""
+        if self.sim.obs is not None:
+            # Perfetto process labels: kernel domains and the DRAM node
+            # (apps/services label their nodes as they start).
+            for kernel in self.kernels:
+                self.sim.obs.label_node(kernel.node, kernel.label)
+            self.sim.obs.label_node(self.platform.dram_node, "DRAM")
         for kernel in self.kernels:
             self.sim.run_process(kernel.boot(), f"{kernel.label}.boot")
             self._kernel_processes.append(
@@ -148,6 +154,8 @@ class M3System:
         self.fs_servers[name] = server
         if self.fs_server is None:
             self.fs_server = server
+        if self.sim.obs is not None:
+            self.sim.obs.label_node(vpe.node, f"service:{name}")
         return server
 
     # -- software loading (the kernel's loader hook) -----------------------------
@@ -164,6 +172,10 @@ class M3System:
         # a peer domain whose kernel drives their context switches).
         kernel = getattr(vpe, "kernel", None) or self.kernel
         kernel.envs[vpe.id] = env
+        if self.sim.obs is not None:
+            # Role label for exports; services refine it when they
+            # finish registering (start_m3fs, start_network).
+            self.sim.obs.label_node(vpe.pe.node, f"app:{vpe.name}")
         process = vpe.pe.run(self._wrap(env, entry, args), name=vpe.name)
         self._app_processes.append((vpe, process))
 

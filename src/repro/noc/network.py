@@ -16,6 +16,7 @@ from repro.noc.link import Link
 from repro.noc.packet import Packet
 from repro.noc.routing import XYRouter
 from repro.noc.topology import MeshTopology
+from repro.obs.causal import TraceContext
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim import Simulator
@@ -95,6 +96,12 @@ class Network:
         except KeyError:
             raise ValueError(f"no link {source}->{destination}") from None
 
+    def iter_links(self):
+        """Iterate ``((source, destination), Link)`` pairs — the public
+        face of the link table, for observers and reports (loopback
+        links ``(n, n)`` included)."""
+        return iter(self._links.items())
+
     # -- timing model ----------------------------------------------------------
 
     def delivery_time(self, packet: Packet) -> int:
@@ -170,17 +177,46 @@ class Network:
 
     def _observe_packet(self, packet: Packet, completion: int,
                         verdict: str) -> None:
-        """Span + counters for one injected packet (observer installed)."""
+        """Span + counters for one injected packet (observer installed).
+
+        The packet's span adopts the trace context the sending DTU
+        stamped on it, and the *contended* share of the wire time — the
+        difference between the reserved completion and the uncontended
+        completion on an idle path — is recorded as a nested
+        ``noc-queue`` span, so critical paths can attribute cycles to
+        NoC contention separately from raw transfer time.
+        """
         obs = self.sim.obs
         obs.count("noc.packets_injected")
         obs.count(f"noc.packets_{'delivered' if verdict != 'drop' else 'dropped'}")
         obs.count("noc.payload_bytes", packet.size_bytes)
-        obs.complete(
-            packet.kind, "noc", packet.source, self.sim.now, completion,
-            destination=packet.destination, bytes=packet.size_bytes,
-            verdict=verdict,
+        ctx = TraceContext(packet.trace_id, packet.trace_parent)
+        now = self.sim.now
+        span = obs.complete(
+            packet.kind, "noc", packet.source, now, completion,
+            parent=ctx, destination=packet.destination,
+            bytes=packet.size_bytes, verdict=verdict,
         )
+        queued = completion - self._uncontended_completion(packet, now)
+        if queued > 0:
+            obs.complete(
+                "queueing", "noc-queue", packet.source,
+                completion - queued, completion,
+                parent=TraceContext(span.trace_id, span.span_id),
+                destination=packet.destination, cycles=queued,
+            )
         obs.sample_links(self)
+
+    def _uncontended_completion(self, packet: Packet, now: int) -> int:
+        """When the packet would complete on an idle path (no queueing)."""
+        wire_bytes = packet.size_bytes + PACKET_HEADER_BYTES
+        if packet.source == packet.destination:
+            hops = 1
+        else:
+            hops = len(self.router.links_on_path(packet.source,
+                                                 packet.destination))
+        serialization = -(-wire_bytes // self.bytes_per_cycle)
+        return now + hops * self.hop_cycles + max(serialization, 1)
 
     def transfer(self, packet: Packet, tag: str | None = None):
         """An event that triggers when ``packet`` has been delivered.

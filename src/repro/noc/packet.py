@@ -26,6 +26,12 @@ class Packet:
     #: detect this through the NoC's link-level CRC and discard the
     #: packet (reliable DTU channels then retransmit).
     corrupted: bool = False
+    #: causal trace context (mirrors the MessageHeader stamp; also set
+    #: on headerless memory/config packets so RDMA transactions join
+    #: the request trace).  ``trace_id < 0`` = untraced.
+    trace_id: int = -1
+    #: span id the in-network span of this packet is parented on.
+    trace_parent: int = -1
     packet_id: int = dataclasses.field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self):

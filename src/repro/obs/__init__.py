@@ -15,6 +15,12 @@ package is the first-class observability layer:
   "threads").
 - :mod:`repro.obs.metrics` — deterministic fixed-bucket histograms
   (powers of two, never wall-clock).
+- :mod:`repro.obs.causal` — Dapper-style causal request tracing: trace
+  contexts propagated in DTU message headers link spans across PEs and
+  kernel domains into per-request trees, from which
+  :func:`~repro.obs.causal.critical_path` extracts the chain of cycle
+  intervals that determined end-to-end latency, attributed per
+  component (libm3 / DTU / NoC / kernel / service / inter-kernel RPC).
 
 Zero-overhead contract: nothing is collected unless an Observer is
 installed on the simulator (``sim.obs``); every instrumentation point
@@ -23,6 +29,17 @@ plus one ``is None`` branch when observability is off, so all
 calibrated figures stay bit-identical.  See ``docs/observability.md``.
 """
 
+from repro.obs.causal import (
+    NO_CONTEXT,
+    Request,
+    Segment,
+    TraceContext,
+    assemble_requests,
+    component_breakdown,
+    critical_path,
+    find_request,
+    header_context,
+)
 from repro.obs.metrics import Histogram
 from repro.obs.observer import Instant, Observer, Span
 from repro.obs.chrome import trace_events, to_chrome_trace, export_chrome_trace
@@ -30,8 +47,17 @@ from repro.obs.chrome import trace_events, to_chrome_trace, export_chrome_trace
 __all__ = [
     "Histogram",
     "Instant",
+    "NO_CONTEXT",
     "Observer",
+    "Request",
+    "Segment",
     "Span",
+    "TraceContext",
+    "assemble_requests",
+    "component_breakdown",
+    "critical_path",
+    "find_request",
+    "header_context",
     "trace_events",
     "to_chrome_trace",
     "export_chrome_trace",

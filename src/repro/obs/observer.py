@@ -10,7 +10,12 @@ Collected data:
   args)``; either opened with :meth:`Observer.begin` / closed with
   :meth:`Observer.end`, or recorded retroactively with
   :meth:`Observer.complete` (natural in a discrete-event model where
-  the completion cycle is known at injection time).
+  the completion cycle is known at injection time).  Every span also
+  carries causal identity — ``(span_id, parent_id, trace_id)`` — wired
+  through :mod:`repro.obs.causal`: spans opened while another span is
+  active on the same node become its children, and handlers adopt the
+  context propagated in DTU message headers, linking spans across PEs
+  and kernel domains into per-request trees.
 - **instants** — point events (a retransmit, a watchdog probe).
 - **counters / gauges / histograms** — cheap named metrics; histograms
   use the deterministic log2 buckets of :mod:`repro.obs.metrics`.
@@ -29,6 +34,7 @@ import collections
 import itertools
 import typing
 
+from repro.obs.causal import CausalTracker, TraceContext
 from repro.obs.metrics import Histogram
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -46,6 +52,10 @@ class Span(typing.NamedTuple):
     begin: int
     end: int
     args: dict | None
+    #: causal identity; -1 = outside any trace (see repro.obs.causal).
+    span_id: int = -1
+    parent_id: int = -1
+    trace_id: int = -1
 
 
 class Instant(typing.NamedTuple):
@@ -80,6 +90,10 @@ class Observer:
         self._next_epoch = epoch
         self._open: dict[int, tuple] = {}
         self._span_ids = itertools.count(1)
+        #: per-node trace-context stacks (causal request tracing).
+        self.causal = CausalTracker()
+        #: node -> human label ("kernel0", "app:find-3", ...) for exports.
+        self.node_labels: dict[int, str] = {}
 
     # -- installation ----------------------------------------------------
 
@@ -102,29 +116,71 @@ class Observer:
     def instants(self) -> list[Instant]:
         return list(self._instants)
 
-    def begin(self, name: str, category: str, node: int = -1, **args) -> int:
-        """Open a span at the current cycle; returns its id."""
+    def reserve_span_id(self) -> int:
+        """Allocate a span id up front (for spans recorded later with
+        :meth:`complete`, e.g. an in-flight DTU message whose id must be
+        stamped into the header before the span's end is known)."""
+        return next(self._span_ids)
+
+    def begin(self, name: str, category: str, node: int = -1,
+              parent: TraceContext | None = None, **args) -> int:
+        """Open a span at the current cycle; returns its id.
+
+        The span joins the causal graph: under ``parent`` when given (a
+        :class:`~repro.obs.causal.TraceContext` adopted from a message
+        header), else under the node's active context, else as the root
+        of a new trace.  It stays the node's active context until
+        :meth:`end`.
+        """
         span_id = next(self._span_ids)
+        trace_id, parent_id = self.causal.open(node, span_id, parent)
         self._open[span_id] = (name, category, node, self.sim.now,
-                               args or None)
+                               args or None, trace_id, parent_id)
         return span_id
 
     def end(self, span_id: int, **args) -> Span:
         """Close an open span at the current cycle."""
-        name, category, node, begin, begin_args = self._open.pop(span_id)
+        try:
+            (name, category, node, begin, begin_args,
+             trace_id, parent_id) = self._open.pop(span_id)
+        except KeyError:
+            raise ValueError(
+                f"span id {span_id} is not open (unknown id, or the span "
+                f"was already ended)"
+            ) from None
+        self.causal.close(node, span_id)
         merged = begin_args
         if args:
             merged = {**(begin_args or {}), **args}
         return self._store_span(
-            Span(name, category, node, begin, self.sim.now, merged)
+            Span(name, category, node, begin, self.sim.now, merged,
+                 span_id, parent_id, trace_id)
         )
 
     def complete(self, name: str, category: str, node: int, begin: int,
-                 end: int | None = None, **args) -> Span:
-        """Record a span whose begin (and optionally end) is already known."""
+                 end: int | None = None, span_id: int = -1,
+                 parent: TraceContext | None = None, **args) -> Span:
+        """Record a span whose begin (and optionally end) is already known.
+
+        Unlike :meth:`begin`, this never starts a new trace: the span
+        joins the causal graph only when ``parent`` is a valid context
+        (or the node has one active); otherwise it stays unlinked, as
+        background spans should.  Pass ``span_id`` (from
+        :meth:`reserve_span_id`) when other spans were parented on this
+        one before it completed.
+        """
+        if parent is None:
+            parent = self.causal.current(node)
+        if parent.valid:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+            if span_id < 0:
+                span_id = next(self._span_ids)
+        else:
+            trace_id, parent_id = -1, -1
         return self._store_span(
             Span(name, category, node, begin,
-                 self.sim.now if end is None else end, args or None)
+                 self.sim.now if end is None else end, args or None,
+                 span_id, parent_id, trace_id)
         )
 
     def _store_span(self, span: Span) -> Span:
@@ -183,9 +239,14 @@ class Observer:
         if force and now > self._next_epoch - self.epoch:
             self._record_epoch(network, self._next_epoch - self.epoch, now)
 
+    def label_node(self, node: int, label: str) -> None:
+        """Attach a human-readable role label to a NoC node (shown as
+        the Perfetto process name: kernel domain, app, service, NIC)."""
+        self.node_labels[node] = label
+
     def _record_epoch(self, network: "Network", start: int, end: int) -> None:
         span = end - start
-        for key, link in network._links.items():
+        for key, link in network.iter_links():
             if not link.packets:
                 continue
             busy = link.busy_within(end) - link.busy_within(start)

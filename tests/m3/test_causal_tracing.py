@@ -1,0 +1,105 @@
+"""End-to-end causal tracing: context crosses PEs and kernel domains.
+
+The trace context rides in the DTU message-header padding, so a
+request recorded on the client PE, the kernel PE(s), and the service
+PE assembles into one tree — including across the inter-kernel
+protocol when the session lives in another domain.
+"""
+
+from repro.m3.kernel import syscalls
+from repro.m3.lib.m3fs_client import M3fsClient
+from repro.m3.system import M3System
+from repro.obs import causal
+
+
+def _noop_system() -> M3System:
+    system = M3System(pe_count=4, observe=True).boot(with_fs=False)
+
+    def app(env):
+        yield from env.syscall(syscalls.NOOP)
+        return 0
+
+    system.run_app(app, name="client")
+    return system
+
+
+def _cross_domain_system(observe: bool) -> M3System:
+    system = M3System(
+        pe_count=8, kernel_count=2, observe=observe
+    ).boot(with_fs=False)
+    system.start_m3fs(name="m3fs", domain=0)
+
+    def app(env):
+        yield from M3fsClient.connect(env, service="m3fs")
+        return 0
+
+    system.wait(system.spawn(app, name="remote-open", domain=1))
+    return system
+
+
+def test_syscall_trace_links_client_kernel_and_transfers():
+    system = _noop_system()
+    request = causal.find_request(system.sim.obs, "noop")
+    assert {span.category for span in request.spans} >= {
+        "syscall-client", "syscall", "dtu", "noc"
+    }
+    assert {span.trace_id for span in request.spans} == {request.trace_id}
+    # The kernel's handler hangs off the client root *via* the request
+    # message's DTU span — the causal edge carried in the header.
+    spans = {span.span_id: span for span in request.spans}
+    kernel = next(s for s in request.spans if s.category == "syscall")
+    message = spans[kernel.parent_id]
+    assert message.category == "dtu" and message.name == "message"
+    assert spans[message.parent_id] is request.root
+    # ... and the reply rides back under the kernel span.
+    reply = next(s for s in request.spans
+                 if s.category == "dtu" and s.name == "reply")
+    assert reply.parent_id == kernel.span_id
+
+
+def test_each_syscall_is_its_own_trace():
+    system = M3System(pe_count=4, observe=True).boot(with_fs=False)
+
+    def app(env):
+        for _ in range(3):
+            yield from env.syscall(syscalls.NOOP)
+        return 0
+
+    system.run_app(app, name="client")
+    roots = [request for request in causal.assemble_requests(system.sim.obs)
+             if request.root.name == "noop"
+             and request.root.category == "syscall-client"]
+    assert len(roots) == 3
+    assert len({request.trace_id for request in roots}) == 3
+
+
+def test_cross_domain_open_session_records_ik_spans():
+    system = _cross_domain_system(observe=True)
+    request = causal.find_request(system.sim.obs, "open_session")
+    ik = [span for span in request.spans if span.category == "ik"]
+    assert {span.name for span in ik} >= {
+        "srv_open", "srv_open.finish", "ik_reply"
+    }
+    nodes = {span.node for span in request.spans}
+    # The request touched the client PE, both kernels, and the service.
+    assert {kernel.node for kernel in system.kernels} <= nodes
+    service = next(s for s in request.spans if s.category == "m3fs")
+    assert service.trace_id == request.trace_id
+
+
+def test_cross_domain_critical_path_shows_inter_kernel_hops():
+    system = _cross_domain_system(observe=True)
+    request = causal.find_request(system.sim.obs, "open_session")
+    segments = causal.critical_path(request)
+    assert sum(segment.cycles for segment in segments) == request.total_cycles
+    breakdown = causal.component_breakdown(segments)
+    assert breakdown.get("inter-kernel", 0) > 0
+    assert breakdown.get("service", 0) > 0
+    assert breakdown.get("other", 0) <= 0.05 * request.total_cycles
+
+
+def test_observability_does_not_change_multikernel_timing():
+    traced = _cross_domain_system(observe=True)
+    plain = _cross_domain_system(observe=False)
+    assert plain.sim.obs is None
+    assert traced.sim.now == plain.sim.now

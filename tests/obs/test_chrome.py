@@ -34,9 +34,33 @@ def test_instants_and_process_metadata():
     probe = next(e for e in instants if e["name"] == "probe")
     assert probe["pid"] == -1  # unattributed -> the global pseudo-process
     names = {
-        e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"
+        e["pid"]: e["args"]["name"]
+        for e in events if e["ph"] == "M" and e["name"] == "process_name"
     }
     assert names == {-1: "simulator", 0: "PE 0", 2: "PE 2"}
+
+
+def test_node_labels_and_thread_names_in_metadata():
+    obs = _sample_observer()
+    obs.label_node(0, "kernel0")
+    obs.label_node(2, "app:worker")
+    events = trace_events(obs)
+    names = {
+        e["pid"]: e["args"]["name"]
+        for e in events if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert names == {-1: "simulator", 0: "kernel0", 2: "app:worker"}
+    threads = {
+        (e["pid"], e["tid"])
+        for e in events if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    # Each category row is named after itself, per process.
+    assert (0, "syscall") in threads
+    assert (2, "noc") in threads and (2, "dtu") in threads
+    assert (-1, "watchdog") in threads
+    for event in events:
+        if event["ph"] == "M" and event["name"] == "thread_name":
+            assert event["args"]["name"] == event["tid"]
 
 
 def test_events_sorted_by_timestamp():

@@ -29,6 +29,18 @@ def test_begin_end_span_with_merged_args():
     assert span.args == {"vpe": 7, "outcome": "ok"}
 
 
+def test_end_of_unknown_or_already_ended_span_raises_value_error():
+    obs = Observer(Simulator())
+    span_id = obs.begin("switch", "ctxsw", node=0)
+    obs.end(span_id)
+    # A double end (or a junk id) used to surface as a bare KeyError;
+    # it is a usage error and says so.
+    with pytest.raises(ValueError, match="is not open"):
+        obs.end(span_id)
+    with pytest.raises(ValueError, match="is not open"):
+        obs.end(12345)
+
+
 def test_complete_records_retroactively():
     sim = Simulator()
     obs = Observer.install(sim)
@@ -62,6 +74,17 @@ def test_span_capacity_rings_and_counts_drops():
     assert obs.instants_dropped == 3
     with pytest.raises(ValueError):
         Observer(Simulator(), span_capacity=0)
+
+
+def test_network_iter_links_is_public():
+    sim = Simulator()
+    network = Network(sim, MeshTopology(2, 1), hop_cycles=1, bytes_per_cycle=1)
+    links = dict(network.iter_links())
+    # Every mesh edge plus the per-node loopbacks, keyed (src, dst).
+    assert (0, 1) in links and (1, 0) in links
+    assert (0, 0) in links and (1, 1) in links
+    for (source, _destination), link in links.items():
+        assert link.source == source
 
 
 def test_link_epoch_sampling_is_lazy_and_flushable():
