@@ -111,6 +111,11 @@ class DTU:
         #: set by the owning PE: where the privileged "probe" config
         #: operation reads the core's halted/running status.
         self.status_source = None
+        #: live-migration forwarding: while set, message/reply packets
+        #: arriving here are re-sent to this node instead of delivered
+        #: (the kernel clears it once the redirect window closes).
+        self.redirect_to: int | None = None
+        self.redirected = 0
         network.attach(node, self.handle_packet)
 
     def enable_reliability(self) -> None:
@@ -592,6 +597,7 @@ class DTU:
                 ep.invalidate()
             self._ringbufs.clear()
             self._retx.clear()
+            self.redirect_to = None
             return "ok"
         if operation == "set_reliable":
             (flag,) = args
@@ -616,6 +622,27 @@ class DTU:
                 self.sim.obs.count("dtu.crc_drops")
                 self.sim.obs.instant("crc_drop", "dtu", self.node,
                                      kind=packet.kind, source=packet.source)
+            return
+        if self.redirect_to is not None and packet.kind in ("message", "reply"):
+            # Live-migration window: software-visible traffic chases the
+            # VPE to its new PE.  The source is preserved so the new
+            # DTU's hardware ack reaches the original sender.  Acks and
+            # memory/config responses are NOT forwarded — they complete
+            # transactions this DTU itself still owns.
+            self.redirected += 1
+            if self.sim.obs is not None:
+                self.sim.obs.count("dtu.redirected")
+            self.network.send(
+                Packet(
+                    source=packet.source,
+                    destination=self.redirect_to,
+                    kind=packet.kind,
+                    size_bytes=packet.size_bytes,
+                    payload=packet.payload,
+                    trace_id=packet.trace_id,
+                    trace_parent=packet.trace_parent,
+                )
+            )
             return
         if packet.kind == "message":
             ep_index, message = packet.payload

@@ -33,6 +33,7 @@ import sys
 from repro.eval import (
     ablations,
     critical_path,
+    domain_failover,
     fault_tolerance,
     fig3_micro,
     fig4_extents,
@@ -83,6 +84,11 @@ def _fault_tolerance() -> dict:
             fault_tolerance.render(fault_tolerance.run()) + "\n"}
 
 
+def _domain_failover() -> dict:
+    return {"domain_failover.txt":
+            domain_failover.bench_table(domain_failover.run()) + "\n"}
+
+
 def _critical_path() -> dict:
     return {"critical_path.txt":
             critical_path.bench_table(critical_path.run()) + "\n"}
@@ -107,6 +113,7 @@ _FIGURES = {
     "fig7_accel": _fig7,
     "tab_arm": _tab_arm,
     "fault_tolerance": _fault_tolerance,
+    "domain_failover": _domain_failover,
     "profile": _profile,
     "critical_path": _critical_path,
 }
@@ -155,7 +162,7 @@ def build_jobs(select: list[str] | None = None) -> list[tuple]:
         for kernel_count in sorted(fig6_multikernel.KERNEL_COUNTS):
             for benchmark in fig6_multikernel.BENCHMARKS:
                 jobs.append(("fig6mk-point", benchmark, kernel_count))
-    for name in ("fig5_apps", "fault_tolerance"):
+    for name in ("fig5_apps", "fault_tolerance", "domain_failover"):
         if wanted(name):
             jobs.append(("figure", name))
     for name in sorted(ablations.BENCH_SWEEPS):

@@ -35,6 +35,19 @@ DROP = "drop"
 CORRUPT = "corrupt"
 DELAY = "delay"
 
+#: every packet kind the NoC carries; a rule naming anything else is a
+#: typo that would silently never fire, so construction rejects it.
+KNOWN_PACKET_KINDS = frozenset({
+    "message",
+    "reply",
+    "msg_ack",
+    "mem_read",
+    "mem_write",
+    "mem_resp",
+    "ep_config",
+    "config_ack",
+})
+
 
 @dataclasses.dataclass(frozen=True)
 class FaultRecord:
@@ -146,6 +159,27 @@ class FaultPlan:
               delay_min=0, delay_max=0) -> "FaultPlan":
         if not (0.0 <= rate <= 1.0):
             raise ValueError(f"rate must be a probability, got {rate}")
+        if kinds is not None:
+            unknown = sorted(set(kinds) - KNOWN_PACKET_KINDS)
+            if unknown:
+                raise ValueError(
+                    f"unknown packet kind(s) {unknown}; valid kinds are "
+                    f"{sorted(KNOWN_PACKET_KINDS)}"
+                )
+        if window is not None:
+            start, end = window
+            if start < 0 or end < start:
+                raise ValueError(
+                    f"bad fault window {tuple(window)}: need 0 <= start <= end"
+                )
+        for label, node in (("source", source), ("destination", destination)):
+            if node is not None and node < 0:
+                raise ValueError(f"{label} node must be >= 0, got {node}")
+        if link is not None:
+            if len(tuple(link)) != 2 or any(n < 0 for n in link):
+                raise ValueError(
+                    f"link must be a (src, dst) pair of node ids, got {link!r}"
+                )
         self.packet_rules.append(
             PacketRule(
                 action=action,
@@ -168,6 +202,8 @@ class FaultPlan:
         the kernel keeps its remote-configuration grip on the node
         (which is exactly what makes kernel-driven recovery possible).
         """
+        if at < 0:
+            raise ValueError(f"kill cycle must be >= 0, got {at}")
         self.node_faults.append(NodeFault("kill", node, at))
         return self
 
@@ -176,6 +212,8 @@ class FaultPlan:
         packets to or from the node are held until the window ends.
         (The model keeps the core's own computation advancing — only
         the node's NoC traffic stalls.)"""
+        if at < 0:
+            raise ValueError(f"stall cycle must be >= 0, got {at}")
         if duration <= 0:
             raise ValueError("stall duration must be positive")
         self.node_faults.append(NodeFault("stall", node, at, duration))
@@ -194,6 +232,20 @@ class FaultPlan:
             network, platform = target, None
         if network.fault_plan is not None:
             raise RuntimeError("network already has a fault plan installed")
+        # Validate every target against the actual topology now, so a
+        # plan naming a nonexistent PE or link fails loudly at install
+        # time instead of silently never firing.
+        for fault in self.node_faults:
+            if platform is not None:
+                platform.pe(fault.node)  # raises ValueError on a bad node
+            else:
+                network.topology._check(fault.node)
+        for rule in self.packet_rules:
+            for node in (rule.source, rule.destination):
+                if node is not None:
+                    network.topology._check(node)
+            if rule.link is not None:
+                network.link(*rule.link)  # raises ValueError on a bad link
         self.sim = network.sim
         network.fault_plan = self
         for fault in self.node_faults:

@@ -1,0 +1,56 @@
+"""VPE checkpoints: deterministic in-sim snapshots of PE-local state.
+
+A checkpoint captures everything a VPE keeps on its PE — the data-SPM
+image, the DTU endpoint registers, the SPM allocator mark — plus a
+summary of its capability table.  The kernel uses checkpoints for two
+things: live migration (``migrate_vpe`` re-materialises the state on a
+free PE and redirects in-flight messages) and recover-by-migrate (the
+watchdog salvages the SPM image off a node whose *core* died — the DTU
+keeps answering reads in hardware — and restarts the VPE elsewhere).
+
+Checkpoints are in-sim objects, not serialised blobs, but they are
+deterministic: two runs with the same seed produce byte-identical SPM
+images and identical register tuples, which is what the determinism
+gates in ``eval/domain_failover`` rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class VpeCheckpoint:
+    """One VPE's PE-local state, snapshotted at ``taken_at``."""
+
+    vpe_id: int
+    name: str
+    #: the node the VPE ran on when the snapshot was taken.
+    node: int
+    #: full data-SPM image (the code SPM is re-loaded from the entry).
+    spm_image: bytes
+    #: the PE's bump-allocator position, so live restore keeps buffer
+    #: addresses stable.  Restart-style recovery deliberately ignores
+    #: it: re-running the entry re-allocates the same addresses and
+    #: finds its previous progress in the restored image.
+    alloc_mark: int
+    #: ``(index, EndpointRegisters)`` pairs for every configured
+    #: endpoint, cloned via ``dataclasses.replace`` so later mutation
+    #: of the live registers cannot leak into the snapshot.
+    eps: tuple
+    #: ``(selector, kind)`` summary of the capability table — the caps
+    #: themselves stay kernel-owned; the summary exists for audits and
+    #: round-trip tests.
+    caps: tuple
+    taken_at: int
+
+    @property
+    def spm_bytes(self) -> int:
+        return len(self.spm_image)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<VpeCheckpoint vpe={self.vpe_id} node={self.node} "
+            f"{self.spm_bytes}B spm, {len(self.eps)} eps, "
+            f"{len(self.caps)} caps @ {self.taken_at}>"
+        )

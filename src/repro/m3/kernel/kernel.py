@@ -8,13 +8,14 @@ configures their endpoints (Section 3).
 
 from __future__ import annotations
 
+import collections
 import itertools
 import typing
 
 from repro import params
-from repro.dtu.dtu import DtuError
+from repro.dtu.dtu import DtuError, MissingCredits
 from repro.dtu.message import HEADER_BYTES
-from repro.dtu.registers import EndpointRegisters, MemoryPerm
+from repro.dtu.registers import EndpointKind, EndpointRegisters, MemoryPerm
 from repro.m3.kernel import syscalls
 from repro.m3.kernel.capability import Capability, CapKind, revoke
 from repro.m3.kernel.memmgr import MemoryManager
@@ -121,6 +122,33 @@ class Kernel:
         self._remote_services: dict[str, int] = {}
         self.ik_requests_sent = 0
         self.ik_requests_served = 0
+        #: reliable inter-kernel RPC client state (reliable DTUs only):
+        #: negotiation id -> retry bookkeeping (attempts, timer handle).
+        self._ik_outstanding: dict[int, dict] = {}
+        #: server-side idempotency: (sender kernel, negotiation) of
+        #: requests still executing/parked -> their ring slot, plus a
+        #: bounded cache of already-sent replies for re-answering
+        #: duplicates without re-executing the operation.
+        self._ik_inflight: dict[tuple, int] = {}
+        self._ik_replied: collections.OrderedDict = collections.OrderedDict()
+        self.ik_retries = 0
+        self.ik_timeouts = 0
+        self.ik_duplicates = 0
+        #: fault-path-only record of ``(cycle, negotiation, attempt)``
+        #: per client-side retransmit, for determinism checks.
+        self.ik_retry_log: list[tuple] = []
+        #: peer kernel ids declared dead (failover done or underway).
+        self.dead_peers: set[int] = set()
+        #: peer kernel id -> the set of nodes its domain owns, so
+        #: failover knows what to quarantine (see :meth:`set_peers`).
+        self._peer_domains: dict[int, set] = {}
+        #: heartbeat ring state (see :meth:`start_heartbeat`).
+        self._heartbeat = None
+        self._heartbeat_stop = False
+        self._heartbeat_misses: dict[int, int] = {}
+        self.heartbeats_sent = 0
+        #: ``(peer, detected_at, completed_at, reason)`` per failover.
+        self.failover_log: list[tuple] = []
         #: send-EP index on the kernel DTU per service name.
         self._service_eps: dict[str, int] = {}
         self._next_service_ep = KERNEL_FIRST_SRV_EP
@@ -153,22 +181,29 @@ class Kernel:
         #: watchdog state (see :meth:`start_watchdog`).
         self._watchdog = None
         self._watchdog_stop = False
+        self._watchdog_recovery = "kill"
         self.probes_sent = 0
         self.recoveries = 0
+        self.migrations = 0
 
     # ------------------------------------------------------------------
     # Boot
     # ------------------------------------------------------------------
 
-    def set_peers(self, peer_nodes: dict) -> None:
+    def set_peers(self, peer_nodes: dict,
+                  peer_domains: dict | None = None) -> None:
         """Declare the other kernels (id -> node) before :meth:`boot`.
 
         Assigns one send endpoint per peer (after the inter-kernel
         receive endpoint) and moves the first service endpoint behind
         them.  Never called for a single-kernel system, whose endpoint
-        layout is unchanged.
+        layout is unchanged.  ``peer_domains`` (id -> node set) tells
+        failover which PEs to quarantine when a peer dies.
         """
         self._peer_nodes = dict(peer_nodes)
+        self._peer_domains = {
+            peer: set(nodes) for peer, nodes in (peer_domains or {}).items()
+        }
         self.peers = {}
         ep_index = KERNEL_FIRST_PEER_EP
         for peer_id in sorted(self._peer_nodes):
@@ -180,6 +215,11 @@ class Kernel:
                 f"{len(self.dtu.eps)} DTU endpoints"
             )
         self._next_service_ep = ep_index
+
+    def _live_peers(self) -> list[int]:
+        """Peer kernel ids not declared dead, in id order."""
+        return [peer for peer in sorted(self.peers)
+                if peer not in self.dead_peers]
 
     def boot(self):
         """Generator: take control of the chip.
@@ -328,6 +368,9 @@ class Kernel:
             raise SyscallError(f"VPE {vpe.name!r} is dead")
         if self.start_software is None:
             raise RuntimeError("kernel has no software loader attached")
+        # Recorded so recover-by-migrate can restart the software on a
+        # new PE after salvaging the SPM image off a dead node.
+        vpe.last_entry = (entry, args)
         if not vpe.resident:
             # A queued multiplexed VPE runs when it gets the PE.
             self.ctxsw.start_queued(vpe, entry, args)
@@ -358,7 +401,8 @@ class Kernel:
 
     def start_watchdog(self, period: int = params.KERNEL_WATCHDOG_PERIOD,
                        probe_timeout: int =
-                       params.KERNEL_PROBE_TIMEOUT_CYCLES):
+                       params.KERNEL_PROBE_TIMEOUT_CYCLES,
+                       recovery: str = "kill"):
         """Start the liveness watchdog on the kernel PE.
 
         Every ``period`` cycles the kernel probes the DTU of each
@@ -366,11 +410,17 @@ class Kernel:
         core's halted bit, so a dead core cannot suppress the answer).
         A probe that reports "halted" — or that gets no answer within
         ``probe_timeout`` cycles, i.e. the whole node is unreachable —
-        triggers :meth:`recover_vpe`.
+        triggers recovery: ``recovery="kill"`` tears the VPE down
+        (:meth:`recover_vpe`); ``recovery="migrate"`` first tries to
+        salvage the SPM image off the dead node and restart the VPE on
+        a free PE (:meth:`_recover_by_migrate`), falling back to kill.
         """
+        if recovery not in ("kill", "migrate"):
+            raise ValueError(f"unknown recovery mode {recovery!r}")
         if self._watchdog is not None and self._watchdog.alive:
             raise RuntimeError("watchdog already running")
         self._watchdog_stop = False
+        self._watchdog_recovery = recovery
         self._watchdog = self.sim.process(
             self._watchdog_loop(period, probe_timeout), "kernel.watchdog"
         )
@@ -384,7 +434,10 @@ class Kernel:
     def _watchdog_loop(self, period: int, probe_timeout: int):
         while True:
             yield self.sim.delay(period)
-            if self._watchdog_stop:
+            if self._watchdog_stop or self.pe.failed:
+                # The stop flag, or this kernel's own PE died (the
+                # watchdog runs as a bare process, so it would otherwise
+                # keep probing on behalf of a dead kernel).
                 return
             for vpe in list(self.vpes.values()):
                 if (vpe.state != VpeState.RUNNING or not vpe.resident
@@ -393,6 +446,10 @@ class Kernel:
                 yield self.sim.delay(params.KERNEL_PROBE_CYCLES, tag=Tag.OS)
                 alive = yield from self._probe_vpe(vpe, probe_timeout)
                 if not alive:
+                    if self._watchdog_recovery == "migrate":
+                        migrated = yield from self._recover_by_migrate(vpe)
+                        if migrated:
+                            continue
                     yield from self.recover_vpe(vpe, "watchdog probe failed")
 
     def _probe_vpe(self, vpe: VpeObject, timeout: int):
@@ -465,6 +522,270 @@ class Kernel:
                 continue  # removed with an earlier cap's subtree
             for victim in revoke(cap):
                 yield from self._teardown(victim)
+
+    def _revoke_foreign_for_node(self, node: int) -> None:
+        """Spawn a kernel task revoking every foreign memory capability
+        that points at ``node``.
+
+        Used when a remote domain reports (or failover infers) that the
+        node's owner died: the regions belong to a peer domain, so the
+        foreign flag already guarantees teardown never frees them into
+        this kernel's allocator — all that is left is cutting the local
+        endpoints configured from those grants.
+        """
+
+        def sweep():
+            for vpe_id in sorted(self.vpes):
+                vpe = self.vpes[vpe_id]
+                for cap in vpe.captable.caps():
+                    if (cap.table is None or not cap.foreign
+                            or cap.kind != CapKind.MEM
+                            or cap.obj.node != node):
+                        continue
+                    for victim in revoke(cap):
+                        yield from self._teardown(victim)
+
+        self.sim.process(sweep(), f"{self.label}.revoke-foreign.n{node}")
+
+    # ------------------------------------------------------------------
+    # VPE checkpoint / restore / migration
+    # ------------------------------------------------------------------
+
+    def checkpoint_vpe(self, vpe: VpeObject):
+        """Generator: snapshot a resident VPE's PE-local state.
+
+        Captures the data-SPM image (a timed, size-dependent transfer),
+        the DTU endpoint registers, the SPM allocator mark, and a
+        capability summary into a :class:`VpeCheckpoint`.  Works against
+        a node whose *core* is dead — the DTU answers reads in hardware
+        — which is what recover-by-migrate relies on.
+        """
+        import dataclasses
+
+        from repro.m3.kernel.checkpoint import VpeCheckpoint
+
+        if not vpe.resident:
+            raise SyscallError(f"VPE {vpe.name!r} is not resident")
+        pe = vpe.pe
+        yield self.sim.delay(params.VPE_CHECKPOINT_KERNEL_CYCLES, tag=Tag.OS)
+        yield self.sim.delay(
+            pe.spm_data.size // params.DTU_BYTES_PER_CYCLE
+            + params.DRAM_ACCESS_CYCLES,
+            tag=Tag.XFER,
+        )
+        checkpoint = VpeCheckpoint(
+            vpe_id=vpe.id,
+            name=vpe.name,
+            node=pe.node,
+            spm_image=bytes(pe.spm_data.read(0, pe.spm_data.size)),
+            alloc_mark=pe._alloc_next,
+            eps=tuple(
+                (index, dataclasses.replace(ep))
+                for index, ep in enumerate(pe.dtu.eps)
+                if ep.kind != EndpointKind.INVALID
+            ),
+            caps=tuple(
+                (cap.selector, cap.kind.value)
+                for cap in vpe.captable.caps()
+                if cap.table is not None
+            ),
+            taken_at=self.sim.now,
+        )
+        vpe.last_checkpoint = checkpoint
+        if self.sim.obs is not None:
+            self.sim.obs.count("kernel.checkpoints")
+            self.sim.obs.instant("checkpoint", "migrate", pe.node,
+                                 vpe=vpe.id, bytes=checkpoint.spm_bytes)
+        return checkpoint
+
+    def restore_vpe(self, checkpoint, target_pe, vpe: VpeObject):
+        """Generator: re-materialize a checkpointed, *live* VPE on
+        ``target_pe`` (live migration).
+
+        The SPM image and endpoint registers are restored at the same
+        indices (client-side gate bindings cache endpoint indices, so
+        they stay valid), receive ringbuffers move over with their
+        unread messages, and the old DTU forwards in-flight messages
+        and replies to the new node for a redirect window before the
+        kernel wipes it.  Safe for VPEs that are computing or parked in
+        a syscall-reply wait; software blocked in a hand-rolled receive
+        loop on the old DTU object is not migratable (see
+        docs/protocols.md).
+        """
+        import dataclasses
+
+        old_pe = vpe.pe
+        old_dtu = old_pe.dtu
+        old_node = old_pe.node
+        if not target_pe.busy:
+            target_pe.reserve()
+        yield self.sim.delay(params.VPE_CHECKPOINT_KERNEL_CYCLES, tag=Tag.OS)
+        yield self.sim.delay(
+            target_pe.spm_data.size // params.DTU_BYTES_PER_CYCLE
+            + params.DRAM_ACCESS_CYCLES,
+            tag=Tag.XFER,
+        )
+        target_pe.spm_data.write(0, checkpoint.spm_image)
+        target_pe._alloc_next = checkpoint.alloc_mark
+        if not old_pe.failed:
+            # Final sync pass (classic pre-copy migration): the VPE kept
+            # running during the bulk copy above, so the authoritative
+            # SPM image, allocator mark, and endpoint registers are
+            # re-read at hand-off time.  The bulk transfer already paid
+            # the size-dependent cost; the dirty delta is not modelled.
+            target_pe.spm_data.write(
+                0, bytes(old_pe.spm_data.read(0, old_pe.spm_data.size))
+            )
+            target_pe._alloc_next = old_pe._alloc_next
+            eps = tuple(
+                (index, dataclasses.replace(ep))
+                for index, ep in enumerate(old_dtu.eps)
+                if ep.kind != EndpointKind.INVALID
+            )
+        else:
+            eps = checkpoint.eps
+        for index, registers in eps:
+            yield from self.dtu.configure_remote(
+                target_pe.node, "configure", index,
+                dataclasses.replace(registers),
+            )
+            if registers.kind == EndpointKind.RECEIVE:
+                # Hardware state handoff: the ringbuffer moves with its
+                # unread messages and its duplicate-suppression window.
+                moved = old_dtu._ringbufs.pop(index, None)
+                if moved is not None:
+                    target_pe.dtu._ringbufs[index] = moved
+        # The software process itself just keeps running; only the PE
+        # binding moves.  The old PE stays reserved until the redirect
+        # window closes, so nobody is placed onto its half-dead state.
+        occupant = old_pe.occupant
+        old_pe.occupant = None
+        old_pe.reserved = True
+        if occupant is not None and occupant.alive:
+            target_pe.occupant = occupant
+            target_pe.reserved = False
+        vpe.pe = target_pe
+        vpe.migrations += 1
+        self.migrations += 1
+        if self.ctxsw.resident.get(old_node) is vpe:
+            self.ctxsw.resident[old_node] = None
+            self.ctxsw.adopt_node(target_pe)
+            self.ctxsw.resident[target_pe.node] = vpe
+        env = self.envs.get(vpe.id)
+        if env is not None:
+            env.pe = target_pe
+            env.dtu = target_pe.dtu
+        # Spurious wakeups: anything blocked on an old-DTU signal must
+        # re-check against the new DTU (the reply wait re-reads env.dtu).
+        for signal in old_dtu._signals.values():
+            signal.fire()
+        old_dtu.redirect_to = target_pe.node
+        if self.sim.obs is not None:
+            self.sim.obs.count("kernel.migrations")
+            self.sim.obs.instant("migrate", "migrate", old_node,
+                                 vpe=vpe.id, target=target_pe.node)
+        self.sim.ledger.mark(
+            self.sim.now, Tag.OS,
+            f"{self.label} migrates VPE #{vpe.id} ({vpe.name}) "
+            f"{old_node} -> {target_pe.node}",
+        )
+
+        def close_window():
+            yield self.sim.delay(params.DTU_REDIRECT_WINDOW_CYCLES)
+            old_dtu.redirect_to = None
+            try:
+                yield from self.dtu.configure_remote(old_node, "wipe")
+            except DtuError:
+                pass  # unreachable: fenced by the NoC instead
+            if not old_pe.failed:
+                old_pe.release()
+
+        self.sim.process(
+            close_window(), f"{self.label}.migrate-window.v{vpe.id}"
+        )
+
+    def _recover_by_migrate(self, vpe: VpeObject):
+        """Generator: recover a failed VPE by moving it to a free PE.
+
+        The core died but the node's DTU still serves reads, so the
+        kernel checkpoints the SPM image off the dead node, quarantines
+        the node, and restarts the VPE's recorded entry on a free PE —
+        checkpoint-aware programs find their previous progress in the
+        restored SPM image.  Returns False (the caller falls back to
+        kill-style recovery) when there is no free PE or no recorded
+        entry.
+        """
+        if vpe.last_entry is None:
+            return False
+        target = self.platform.find_free_pe(nodes=self.domain)
+        if target is None or target.node == self.node:
+            return False
+        target.reserve()
+        checkpoint = yield from self.checkpoint_vpe(vpe)
+        old_pe = vpe.pe
+        try:
+            yield from self.dtu.configure_remote(old_pe.node, "wipe")
+        except DtuError:
+            pass  # node unreachable: fenced by the NoC instead
+        occupant = old_pe.occupant
+        if occupant is not None and occupant.alive:
+            try:
+                occupant.interrupt("pe-failed")
+            except RuntimeError:
+                pass
+        old_pe.release()
+        old_pe.failed = True  # quarantine: find_free_pe skips it
+        if self.ctxsw.resident.get(old_pe.node) is vpe:
+            self.ctxsw.resident[old_pe.node] = None
+        self.migrations += 1
+        vpe.migrations += 1
+        if self.sim.obs is not None:
+            self.sim.obs.count("kernel.migrations")
+            self.sim.obs.instant("migrate", "watchdog", old_pe.node,
+                                 vpe=vpe.id, target=target.node)
+        self.sim.ledger.mark(
+            self.sim.now, Tag.FAULT,
+            f"{self.label} migrates VPE #{vpe.id} ({vpe.name}) off dead "
+            f"node {old_pe.node} to node {target.node}",
+        )
+        vpe.pe = target
+        # Restore the image, then restart the entry: the bump allocator
+        # starts from zero again, so the re-run allocates the same
+        # buffer addresses and finds its progress in the restored SPM.
+        yield self.sim.delay(
+            target.spm_data.size // params.DTU_BYTES_PER_CYCLE
+            + params.DRAM_ACCESS_CYCLES,
+            tag=Tag.XFER,
+        )
+        target.spm_data.write(0, checkpoint.spm_image)
+        yield from self.wire_syscall_channel(vpe)
+        if self.ctxsw.resident.get(target.node) is None:
+            self.ctxsw.adopt_node(target)
+            self.ctxsw.resident[target.node] = vpe
+        entry, args = vpe.last_entry
+        vpe.state = VpeState.RUNNING
+        self.start_software(vpe, entry, args)
+        return True
+
+    def _sys_migrate_vpe(self, vpe, slot, vpe_sel):
+        """Live-migrate a running, resident child VPE to a free PE in
+        this domain (checkpoint + restore + DTU redirect window);
+        returns the node it now runs on."""
+        child = vpe.captable.get(vpe_sel, CapKind.VPE).obj
+        if isinstance(child, RemoteVpeObject):
+            raise SyscallError("cannot live-migrate a remote VPE")
+        if not child.resident or child.state != VpeState.RUNNING:
+            raise SyscallError(
+                f"VPE {child.name!r} is not resident and running; use "
+                "vpe_migrate for suspended or queued VPEs"
+            )
+        target = self.platform.find_free_pe(nodes=self.domain)
+        if target is None or target.node == self.node:
+            raise SyscallError("no free PE to migrate to")
+        target.reserve()
+        checkpoint = yield from self.checkpoint_vpe(child)
+        yield from self.restore_vpe(checkpoint, target, child)
+        return target.node
 
     # ------------------------------------------------------------------
     # The dispatch loop
@@ -590,9 +911,9 @@ class Kernel:
         except SyscallError:
             if not self.peers:
                 raise
-            # Domain full: spill the VPE to a peer kernel's domain.
+            # Domain full: spill the VPE to a (live) peer kernel's domain.
             self._spill_create_vpe(vpe, slot, name, pe_type,
-                                   sorted(self.peers), 0)
+                                   self._live_peers(), 0)
             return NO_REPLY
         # Give the *parent* a capability for the child VPE and its SPM.
         child_vpe_cap = child.captable.get(0)
@@ -660,10 +981,19 @@ class Kernel:
                 if payload[0] == "ok":
                     child.state = VpeState.DEAD
                     child.exit_code = payload[1]
+                else:
+                    # The child is gone or unreachable (killed remotely,
+                    # or its whole domain failed): the proxy must not
+                    # stay RUNNING forever, and local endpoints built
+                    # from its foreign grants are dead hardware now.
+                    child.state = VpeState.DEAD
+                    child.exit_code = ("failed", payload[1])
+                    self._revoke_foreign_for_node(child.node)
                 self._reply(vpe, slot, payload)
 
             self._ik_request(child.kernel_id, "vpe_wait",
-                             (child.remote_id,), completion)
+                             (child.remote_id,), completion,
+                             no_timeout=True)
             return NO_REPLY
         if child.state == VpeState.DEAD:
             return child.exit_code
@@ -952,6 +1282,16 @@ class Kernel:
         self.dtu.ack_message(KERNEL_REPLY_EP, slot)
         continuation = self._ik_pending.pop(message.label, None)
         if continuation is not None:
+            outstanding = self._ik_outstanding.pop(message.label, None)
+            if outstanding is not None:
+                # The RPC is answered: disarm the retry timer at once
+                # (an uncancelled timer would also drag sim.now out) and
+                # reconcile the credits spent on retransmits — kernel-
+                # level duplicates are acked, not replied to, so they
+                # never refill the peer send endpoint on their own.
+                if outstanding["timer"] is not None:
+                    self.sim.cancel(outstanding["timer"])
+                self._refund_ik_credits(outstanding, outstanding["extra_sends"])
             # A peer kernel answered an inter-kernel request: the
             # continuation runs as a child of the peer's reply message,
             # so the cross-domain hop stays on the causal chain.
@@ -1028,10 +1368,12 @@ class Kernel:
 
     def _open_remote_session(self, vpe, slot, name: str) -> None:
         """Probe peer kernels for service ``name``, cached owner first,
-        then in kernel-id order, until one accepts the session."""
-        candidates = sorted(self.peers)
+        then in kernel-id order, until one accepts the session.  Dead
+        peers are skipped — failover purges their cache entries, so a
+        replica registered with a surviving domain takes over."""
+        candidates = self._live_peers()
         cached = self._remote_services.get(name)
-        if cached in self.peers:
+        if cached is not None and cached in candidates:
             candidates.remove(cached)
             candidates.insert(0, cached)
         self._probe_remote_service(vpe, slot, name, candidates, 0)
@@ -1101,27 +1443,192 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def _ik_request(self, peer: int, operation: str, args: tuple,
-                    continuation) -> None:
+                    continuation, no_timeout: bool = False,
+                    timeout_base: int | None = None,
+                    max_attempts: int | None = None) -> None:
         """Send ``(operation, args)`` to a peer kernel; ``continuation``
         is a plain (non-blocking) callable run with the peer's reply
-        payload, so the kernel loop never waits on a peer."""
+        payload, so the kernel loop never waits on a peer.
+
+        On a reliable DTU the request becomes an idempotent RPC: the
+        negotiation id doubles as the kernel-level sequence number (it
+        rides every copy as the reply label), a per-request timer
+        retransmits the *same* id with capped exponential backoff, and
+        a request that stays unanswered through ``max_attempts`` is
+        completed with an explicit ``("timeout", ...)`` verdict instead
+        of hanging forever.  ``no_timeout`` requests — cross-domain
+        waits, which legitimately stay open arbitrarily long — re-poll
+        at the capped interval (the peer's reply cache absorbs the
+        duplicates) and are only failed by peer-death failover.  On a
+        best-effort DTU nothing is armed and the path is cycle-
+        identical to the fire-and-forget protocol.
+        """
+        if peer in self.dead_peers:
+            # Fast-fail instead of waiting out a timeout against a peer
+            # failover already declared dead.
+            self.sim.call_soon(
+                lambda _: continuation(
+                    ("err", f"kernel domain {peer} failed")
+                )
+            )
+            return
         negotiation = next(self._negotiation_ids)
         self._ik_pending[negotiation] = continuation
         self.ik_requests_sent += 1
         if self.sim.obs is not None:
             self.sim.obs.count(f"kernel{self.kernel_id}.ik_requests")
         self.sim.ledger.charge(Tag.OS, params.M3_KERNEL_REPLY_CYCLES)
-        self.dtu.send(
+        done = self.dtu.send(
             self.peers[peer],
             (operation, args),
             IK_MSG_BYTES,
             reply_ep=KERNEL_REPLY_EP,
             reply_label=negotiation,
         )
+        if not self.dtu._reliable:
+            return
+        entry = {
+            "peer": peer,
+            "operation": operation,
+            "args": args,
+            "attempts": 1,
+            "timer": None,
+            "no_timeout": no_timeout,
+            "base": timeout_base or params.IK_RPC_TIMEOUT_CYCLES,
+            "max_attempts": max_attempts or params.IK_RPC_MAX_ATTEMPTS,
+            "extra_sends": 0,
+        }
+        self._ik_outstanding[negotiation] = entry
+        self._arm_ik_timer(negotiation, entry)
+        done.add_callback(
+            lambda event: self._ik_send_failed(negotiation, event)
+        )
+
+    def _ik_backoff(self, entry: dict) -> int:
+        """The retry interval before attempt ``attempts + 1``: capped
+        exponential backoff in pure integer arithmetic, so the schedule
+        is exact and bit-identical across runs."""
+        timeout = entry["base"] * (
+            params.IK_RPC_BACKOFF ** (entry["attempts"] - 1)
+        )
+        return min(timeout, params.IK_RPC_TIMEOUT_CAP_CYCLES)
+
+    def _arm_ik_timer(self, negotiation: int, entry: dict) -> None:
+        entry["timer"] = self.sim.schedule(
+            self._ik_backoff(entry),
+            lambda _: self._ik_timer_fired(negotiation),
+        )
+
+    def _ik_send_failed(self, negotiation: int, event) -> None:
+        """The DTU gave up on a copy of an outstanding RPC (the peer's
+        hardware never acked — dead node or partitioned NoC): move the
+        RPC forward immediately instead of waiting out its timer."""
+        if event.ok or negotiation not in self._ik_outstanding:
+            return
+        self._ik_timer_fired(negotiation)
+
+    def _ik_timer_fired(self, negotiation: int) -> None:
+        """An outstanding RPC went unanswered for its backoff interval:
+        retransmit it under the same negotiation id (the peer's dedup
+        absorbs duplicates), or complete it with a timeout verdict."""
+        entry = self._ik_outstanding.get(negotiation)
+        if entry is None:
+            return  # answered in the meantime
+        if entry["timer"] is not None:
+            self.sim.cancel(entry["timer"])
+            entry["timer"] = None
+        if self.pe.failed:
+            # This kernel's own PE was killed: its RPCs die with it
+            # (peers detect the death via their heartbeats).
+            self._ik_outstanding.pop(negotiation, None)
+            return
+        peer = entry["peer"]
+        if peer in self.dead_peers:
+            return  # failover errs the continuation; nothing to retry to
+        if not entry["no_timeout"] and entry["attempts"] >= entry["max_attempts"]:
+            self._ik_outstanding.pop(negotiation, None)
+            continuation = self._ik_pending.pop(negotiation, None)
+            self.ik_timeouts += 1
+            if self.sim.obs is not None:
+                self.sim.obs.count(f"kernel{self.kernel_id}.ik_timeouts")
+            self.sim.ledger.mark(
+                self.sim.now, Tag.FAULT,
+                f"{self.label}: ik {entry['operation']} to kernel {peer} "
+                f"timed out after {entry['attempts']} attempts",
+            )
+            # No reply will ever refund these credits.
+            self._refund_ik_credits(entry, entry["attempts"])
+            if continuation is not None:
+                continuation((
+                    "timeout",
+                    f"inter-kernel {entry['operation']} to kernel {peer} "
+                    f"got no reply after {entry['attempts']} attempts",
+                ))
+            return
+        self.sim.ledger.charge(Tag.OS, params.M3_KERNEL_REPLY_CYCLES)
+        try:
+            done = self.dtu.send(
+                self.peers[peer],
+                (entry["operation"], entry["args"]),
+                IK_MSG_BYTES,
+                reply_ep=KERNEL_REPLY_EP,
+                reply_label=negotiation,
+            )
+        except MissingCredits:
+            # Out of credits mid-burst: re-check after the base interval
+            # without burning an attempt (credits come back with any
+            # outstanding reply or reconciliation).
+            entry["timer"] = self.sim.schedule(
+                entry["base"], lambda _: self._ik_timer_fired(negotiation)
+            )
+            return
+        entry["attempts"] += 1
+        entry["extra_sends"] += 1
+        self.ik_retries += 1
+        self.ik_retry_log.append(
+            (self.sim.now, negotiation, entry["attempts"])
+        )
+        if self.sim.obs is not None:
+            self.sim.obs.count(f"kernel{self.kernel_id}.ik_retries")
+            self.sim.obs.instant(
+                "ik_retry", "ik", self.node, peer=peer,
+                operation=entry["operation"], attempt=entry["attempts"],
+            )
+        self._arm_ik_timer(negotiation, entry)
+        done.add_callback(
+            lambda event: self._ik_send_failed(negotiation, event)
+        )
+
+    def _refund_ik_credits(self, entry: dict, count: int) -> None:
+        """Reconcile peer-endpoint credits for RPC copies whose replies
+        will never arrive (clamped at the endpoint's maximum, so an
+        over-refund from a late duplicate reply is harmless)."""
+        ep_index = self.peers[entry["peer"]]
+        for _ in range(count):
+            self.dtu._reconcile_credit(ep_index)
 
     def _handle_ik_request(self, slot: int, message):
         """Generator: serve one request from a peer kernel.  The message
         label is the sender's kernel id (fixed by its send gate)."""
+        # Idempotency: the (sender, negotiation id) pair identifies an
+        # RPC across retransmitted copies.  A copy of an RPC we already
+        # answered is re-answered from the reply cache; a copy of one we
+        # are still serving (or have parked) is acked and dropped — the
+        # original slot will produce the one reply.
+        key = (message.label, message.header.reply_label)
+        if key in self._ik_replied:
+            self.ik_duplicates += 1
+            if self.sim.obs is not None:
+                self.sim.obs.count(f"kernel{self.kernel_id}.ik_duplicates")
+            self._ik_reply(slot, self._ik_replied[key])
+            return
+        if key in self._ik_inflight:
+            self.ik_duplicates += 1
+            if self.sim.obs is not None:
+                self.sim.obs.count(f"kernel{self.kernel_id}.ik_duplicates")
+            self.dtu.ack_message(KERNEL_IK_EP, slot)
+            return
+        self._ik_inflight[key] = slot
         self.ik_requests_served += 1
         obs = self.sim.obs
         operation, args = message.payload
@@ -1153,6 +1660,23 @@ class Kernel:
 
     def _ik_reply(self, slot: int, payload) -> None:
         """Reply to (and thereby acknowledge) a peer kernel's request."""
+        # Record the reply before sending it, keyed by the RPC identity
+        # recovered from the still-unacked slot, so a retransmitted copy
+        # of the same RPC gets the identical answer instead of being
+        # re-executed (``create_vpe`` et al. are not naturally
+        # idempotent).  The cache is bounded; the window only needs to
+        # outlive the client's maximum backoff.
+        try:
+            message = self.dtu.ringbuffer(KERNEL_IK_EP).peek(slot)
+        except (KeyError, ValueError):
+            message = None
+        if message is not None:
+            key = (message.label, message.header.reply_label)
+            if self._ik_inflight.get(key) == slot:
+                del self._ik_inflight[key]
+            self._ik_replied[key] = payload
+            while len(self._ik_replied) > params.IK_RPC_REPLY_CACHE:
+                self._ik_replied.popitem(last=False)
         self.sim.ledger.charge(Tag.OS, params.M3_KERNEL_REPLY_CYCLES)
         self.dtu.reply(KERNEL_IK_EP, slot, payload, IK_MSG_BYTES)
 
@@ -1231,3 +1755,232 @@ class Kernel:
         self.vpe_exited(vpe, None)
         return ()
         yield  # pragma: no cover
+
+    def _ik_heartbeat(self, slot, sender, peer_id):
+        """Liveness probe from the ring predecessor.  Serving the
+        request at all is the proof of life; the payload confirms who
+        answered."""
+        return ("alive", self.kernel_id)
+        yield  # pragma: no cover
+
+    def _ik_peer_down(self, slot, sender, dead_id, reason):
+        """A peer announces a third kernel's death so every survivor
+        converges on the same membership view without waiting for its
+        own heartbeat verdict."""
+        if dead_id != self.kernel_id:
+            self._declare_peer_dead(dead_id, reason, announce=False)
+        return ()
+        yield  # pragma: no cover
+
+    # -- heartbeats and kernel-domain failover ---------------------------
+
+    def start_heartbeat(self, period: int = params.KERNEL_HEARTBEAT_PERIOD,
+                        miss_limit: int = params.KERNEL_HEARTBEAT_MISS_LIMIT):
+        """Probe the next live kernel in the ring every ``period``
+        cycles; ``miss_limit`` consecutive timeout verdicts declare the
+        peer dead and trigger failover.  Heartbeats ride the reliable
+        inter-kernel RPC layer, so they are only meaningful on reliable
+        DTUs — a best-effort probe could never distinguish loss from
+        death."""
+        if not self.peers:
+            raise RuntimeError(f"{self.label}: no peers to heartbeat")
+        if self._heartbeat is not None and not self._heartbeat_stop:
+            raise RuntimeError(f"{self.label}: heartbeat already running")
+        self._heartbeat_stop = False
+        self._heartbeat_misses = {}
+        self._heartbeat = self.sim.process(
+            self._heartbeat_loop(period, miss_limit),
+            f"{self.label}.heartbeat",
+        )
+        return self._heartbeat
+
+    def stop_heartbeat(self) -> None:
+        self._heartbeat_stop = True
+
+    def _ring_successor(self) -> int | None:
+        """The next live kernel id after ours, wrapping around — each
+        kernel probes exactly one successor, so the ring as a whole
+        covers every member with k probes per period."""
+        live = self._live_peers()
+        if not live:
+            return None
+        for peer in live:
+            if peer > self.kernel_id:
+                return peer
+        return live[0]
+
+    def _heartbeat_loop(self, period: int, miss_limit: int):
+        while True:
+            yield self.sim.delay(period)
+            if self._heartbeat_stop or self.pe.failed:
+                return
+            target = self._ring_successor()
+            if target is None:
+                return
+            self.heartbeats_sent += 1
+            if self.sim.obs is not None:
+                self.sim.obs.count(f"kernel{self.kernel_id}.heartbeats")
+            self.sim.ledger.charge(Tag.OS, params.KERNEL_PROBE_CYCLES)
+            self._ik_request(
+                target, "heartbeat", (self.kernel_id,),
+                lambda payload, target=target: self._heartbeat_verdict(
+                    target, payload, miss_limit
+                ),
+                timeout_base=params.KERNEL_HEARTBEAT_RPC_TIMEOUT_CYCLES,
+                max_attempts=params.KERNEL_HEARTBEAT_RPC_ATTEMPTS,
+            )
+
+    def _heartbeat_verdict(self, target: int, payload, miss_limit: int) -> None:
+        if target in self.dead_peers:
+            return
+        if payload[0] == "ok":
+            self._heartbeat_misses[target] = 0
+            return
+        misses = self._heartbeat_misses.get(target, 0) + 1
+        self._heartbeat_misses[target] = misses
+        if self.sim.obs is not None:
+            self.sim.obs.count(f"kernel{self.kernel_id}.heartbeat_misses")
+        if misses >= miss_limit:
+            self._declare_peer_dead(
+                target, f"{misses} consecutive heartbeat timeouts"
+            )
+
+    def _declare_peer_dead(self, peer: int, reason: str,
+                           announce: bool = True) -> None:
+        """Commit to the verdict that kernel ``peer`` is gone and spawn
+        the failover process that cleans up after it."""
+        if peer in self.dead_peers or peer not in self.peers:
+            return
+        detected = self.sim.now
+        self.dead_peers.add(peer)
+        self._heartbeat_misses.pop(peer, None)
+        if self.sim.obs is not None:
+            self.sim.obs.count(f"kernel{self.kernel_id}.peer_deaths")
+            self.sim.obs.instant(
+                "peer_dead", "ik", self.node, peer=peer, reason=reason,
+            )
+        self.sim.ledger.mark(
+            detected, Tag.FAULT,
+            f"{self.label}: declared kernel {peer} dead ({reason})",
+        )
+        self.sim.process(
+            self._fail_over(peer, reason, detected, announce),
+            f"{self.label}.failover.k{peer}",
+        )
+
+    def _fail_over(self, peer: int, reason: str, detected: int,
+                   announce: bool):
+        """Generator: quarantine a dead kernel domain.  Errs out every
+        RPC we still owed it an answer for, answers every local wait
+        that was parked on it, fails its PEs so orphaned software stops
+        cleanly, revokes capabilities that point into the dead domain,
+        and re-points cached service ownership at survivors."""
+        # 1. Outstanding RPCs *to* the dead peer: no reply will ever
+        # come — err their continuations now (this is what un-parks a
+        # cross-domain VPE_WAIT whose target domain died).
+        for negotiation in sorted(self._ik_outstanding):
+            entry = self._ik_outstanding[negotiation]
+            if entry["peer"] != peer:
+                continue
+            del self._ik_outstanding[negotiation]
+            if entry["timer"] is not None:
+                self.sim.cancel(entry["timer"])
+                entry["timer"] = None
+            self._refund_ik_credits(entry, entry["attempts"])
+            continuation = self._ik_pending.pop(negotiation, None)
+            if continuation is not None:
+                continuation(
+                    ("err", f"kernel domain {peer} failed: {reason}")
+                )
+        # 2. Requests *from* the dead peer that we were still serving or
+        # had parked: nobody is waiting for these replies any more.
+        for key in sorted(k for k in self._ik_inflight if k[0] == peer):
+            slot = self._ik_inflight.pop(key)
+            for vpe in self.vpes.values():
+                if slot in vpe.remote_waiters:
+                    vpe.remote_waiters.remove(slot)
+            self.dtu.ack_message(KERNEL_IK_EP, slot)
+        for negotiation in sorted(self._pending_sessions):
+            pending = self._pending_sessions[negotiation]
+            if pending[0] == "remote" and pending[4] == peer:
+                del self._pending_sessions[negotiation]
+        # 3. Quarantine the dead domain's PEs: fail them so any orphaned
+        # software (spilled VPEs we started over there) stops instead of
+        # deadlocking the run, and wipe their DTUs where reachable.
+        dead_nodes = set(self._peer_domains.get(peer, ()))
+        for node in sorted(dead_nodes):
+            pe = self.platform.pe(node)
+            if not pe.failed:
+                pe.fail(cause=f"kernel domain {peer} failed")
+            try:
+                yield from self.dtu.configure_remote(node, "wipe")
+            except DtuError:
+                pass
+        # 4. Capabilities that point into the dead domain are now
+        # dangling: revoke them (sessions with its services, send gates
+        # at its gates, foreign memory in its address space) and mark
+        # proxies of its VPEs dead.
+        for vpe_id in sorted(self.vpes):
+            vpe = self.vpes[vpe_id]
+            if vpe.state == VpeState.DEAD:
+                continue
+            for cap in vpe.captable.caps():
+                if cap.table is None:
+                    continue
+                doomed = False
+                obj = cap.obj
+                if cap.kind == CapKind.VPE and isinstance(obj, RemoteVpeObject):
+                    if obj.kernel_id == peer and obj.state != VpeState.DEAD:
+                        obj.state = VpeState.DEAD
+                        obj.exit_code = (
+                            "failed", f"kernel domain {peer} failed"
+                        )
+                elif cap.kind == CapKind.SESSION and isinstance(
+                        obj.service, RemoteServiceRef):
+                    doomed = obj.service.kernel_id == peer
+                elif cap.kind == CapKind.SEND and isinstance(
+                        obj.target, RemoteGateStub):
+                    doomed = obj.target.node in dead_nodes
+                elif cap.kind == CapKind.MEM and cap.foreign:
+                    doomed = obj.node in dead_nodes
+                if doomed:
+                    for victim in revoke(cap):
+                        yield from self._teardown(victim)
+        # Local services may hold sessions opened on behalf of the dead
+        # kernel's clients; those clients are gone.
+        for service in self.services.values():
+            stale = [
+                session_id
+                for session_id, client in service.sessions.items()
+                if isinstance(client, RemoteClientRef)
+                and client.kernel_id == peer
+            ]
+            for session_id in stale:
+                del service.sessions[session_id]
+        # 5. Cached service ownership pointing at the dead kernel fails
+        # over: drop the entries so the next open re-probes survivors.
+        stale_services = [
+            name for name, owner in self._remote_services.items()
+            if owner == peer
+        ]
+        for name in stale_services:
+            del self._remote_services[name]
+        # 6. Tell the other survivors (idempotent: _declare_peer_dead
+        # no-ops on kernels that already know).
+        if announce:
+            for other in self._live_peers():
+                self._ik_request(
+                    other, "peer_down", (peer, reason),
+                    lambda payload: None,
+                )
+        self.failover_log.append((peer, detected, self.sim.now, reason))
+        if self.sim.obs is not None:
+            self.sim.obs.instant(
+                "failover_done", "ik", self.node, peer=peer,
+                cycles=self.sim.now - detected,
+            )
+        self.sim.ledger.mark(
+            self.sim.now, Tag.FAULT,
+            f"{self.label}: failover for kernel {peer} complete "
+            f"({self.sim.now - detected} cycles after detection)",
+        )

@@ -23,6 +23,10 @@ VPE_WAIT_YIELD = "vpe_wait_yield"
 #: (vpe_sel,) -> new node; move a suspended/queued VPE to a free PE
 #: ("we plan to allow the migration of VPEs", Section 4.3).
 VPE_MIGRATE = "vpe_migrate"
+#: (vpe_sel,) -> new node; live-migrate a *running* VPE: checkpoint its
+#: PE-local state, restore it on a free PE, and redirect in-flight
+#: messages for a window while the old DTU drains.
+MIGRATE_VPE = "migrate_vpe"
 #: (exit_code,) -> no reply; marks the calling VPE dead.
 EXIT = "exit"
 
@@ -71,6 +75,7 @@ ALL_OPCODES = frozenset(
         VPE_WAIT,
         VPE_WAIT_YIELD,
         VPE_MIGRATE,
+        MIGRATE_VPE,
         EXIT,
         NOOP,
         REQUEST_MEM,

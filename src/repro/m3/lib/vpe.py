@@ -111,6 +111,15 @@ class VPE:
         """Generator: block until the VPE exits; returns its exit code."""
         return (yield from self.env.syscall(syscalls.VPE_WAIT, self.selector))
 
+    def migrate(self):
+        """Generator: live-migrate this (running) VPE to a free PE in
+        the kernel's domain; returns the node it runs on afterwards.
+        The target keeps executing across the move — its SPM image,
+        endpoint registers, and unread messages travel with it."""
+        return (
+            yield from self.env.syscall(syscalls.MIGRATE_VPE, self.selector)
+        )
+
     def wait_yield(self):
         """Generator: like :meth:`wait`, but tells the kernel the wait
         may be long so the caller's PE can be context-switched to a

@@ -75,10 +75,16 @@ class M3System:
                 kernel.label = f"kernel{domain_id}"
                 self.kernels.append(kernel)
             for kernel in self.kernels:
-                kernel.set_peers({
-                    other.kernel_id: other.node
-                    for other in self.kernels if other is not kernel
-                })
+                kernel.set_peers(
+                    {
+                        other.kernel_id: other.node
+                        for other in self.kernels if other is not kernel
+                    },
+                    peer_domains={
+                        other.kernel_id: other.domain
+                        for other in self.kernels if other is not kernel
+                    },
+                )
             self.kernel = self.kernels[0]
         for kernel in self.kernels:
             kernel.start_software = self._start_software
@@ -125,12 +131,38 @@ class M3System:
         for kernel in self.kernels:
             self.sim.run_process(kernel.boot(), f"{kernel.label}.boot")
             self._kernel_processes.append(
-                kernel.pe.run(kernel.run(), kernel.label)
+                kernel.pe.run(self._run_kernel(kernel), kernel.label)
             )
         self._kernel_process = self._kernel_processes[0]
         if with_fs:
             self.start_m3fs(**(fs_kwargs or {}))
         return self
+
+    def _run_kernel(self, kernel: Kernel):
+        """Generator: the kernel main loop, tolerant of its own PE being
+        killed by a fault plan — a murdered kernel stops quietly (its
+        peers detect the death via heartbeats) instead of surfacing an
+        Interrupt through :meth:`raise_crashes`."""
+        from repro.sim.events import Interrupt
+
+        try:
+            yield from kernel.run()
+        except Interrupt:
+            return None
+
+    def start_heartbeats(self, **kwargs) -> None:
+        """Start the peer heartbeat ring on every kernel that has peers
+        (no-op on single-kernel layouts).  Only meaningful when the
+        system was built with ``reliable=True``; see
+        docs/protocols.md, "Failure model & recovery"."""
+        for kernel in self.kernels:
+            if kernel.peers:
+                kernel.start_heartbeat(**kwargs)
+
+    def stop_heartbeats(self) -> None:
+        for kernel in self.kernels:
+            if kernel.peers:
+                kernel.stop_heartbeat()
 
     def start_m3fs(self, name: str = "m3fs", domain: int | None = None,
                    **fs_kwargs) -> "M3fsServer":

@@ -85,6 +85,57 @@ KERNEL_PROBE_TIMEOUT_CYCLES = 4_000
 KERNEL_PROBE_CYCLES = 40
 
 # --------------------------------------------------------------------------
+# Inter-kernel RPC reliability, heartbeats, and VPE migration.  All of
+# these are opt-in like the reliable-DTU block above: RPC retry timers
+# only arm on reliable DTUs, heartbeats only run when started, and
+# migration only happens on request or during recovery, so none of
+# these values affect the calibrated paper figures.
+# --------------------------------------------------------------------------
+
+#: Base kernel-level timeout for one inter-kernel RPC attempt.  Sits
+#: above the DTU retransmit layer: it must cover a full request/serve/
+#: reply round trip including kernel dispatch, so it is a few times the
+#: DTU-level ack timeout.
+IK_RPC_TIMEOUT_CYCLES = 2_048
+
+#: Exponential backoff factor between inter-kernel RPC retries.  An
+#: integer so the retry schedule stays exact (no float rounding) and
+#: therefore bit-identical across runs.
+IK_RPC_BACKOFF = 2
+
+#: Deterministic cap on the backed-off inter-kernel retry interval.
+IK_RPC_TIMEOUT_CAP_CYCLES = 16_384
+
+#: Inter-kernel RPC attempts before the kernel gives up and completes
+#: the request with an explicit ("timeout", ...) verdict.
+IK_RPC_MAX_ATTEMPTS = 5
+
+#: Server-side reply cache depth for inter-kernel RPC idempotency: how
+#: many already-answered (peer, sequence-number) requests each kernel
+#: can re-answer without re-executing them.
+IK_RPC_REPLY_CACHE = 512
+
+#: Heartbeat ring between kernel domains: ping period, and how tight
+#: the heartbeat RPC's own retry budget is (heartbeats want a fast
+#: verdict, not a patient one — a missed verdict is itself the signal).
+KERNEL_HEARTBEAT_PERIOD = 8_000
+KERNEL_HEARTBEAT_RPC_TIMEOUT_CYCLES = 1_024
+KERNEL_HEARTBEAT_RPC_ATTEMPTS = 2
+
+#: Consecutive heartbeat timeout verdicts before a peer kernel domain
+#: is declared dead and failover starts.
+KERNEL_HEARTBEAT_MISS_LIMIT = 2
+
+#: How long a migrated-away VPE's old DTU forwards in-flight messages
+#: and replies to the new node before the kernel wipes it.
+DTU_REDIRECT_WINDOW_CYCLES = 4_096
+
+#: Kernel-side software cost of taking one VPE checkpoint (walking the
+#: endpoint registers and capability table; the SPM copy is a separate,
+#: size-dependent timed transfer).  Same order as a context switch.
+VPE_CHECKPOINT_KERNEL_CYCLES = 800
+
+# --------------------------------------------------------------------------
 # M3 software path lengths (Sections 5.3, 5.4)
 # --------------------------------------------------------------------------
 

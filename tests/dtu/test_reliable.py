@@ -142,6 +142,91 @@ def test_memory_transaction_survives_lost_response(platform):
     assert requester.retransmits >= 1
 
 
+def test_retx_timer_after_sender_wiped_is_harmless(platform):
+    """The sender's VPE dies right after a (lost) send and the kernel
+    wipes its DTU: the armed retransmit timer still fires, finds no
+    entry, and must neither crash nor retransmit on behalf of the dead
+    node."""
+    FaultPlan(seed=1).drop(1.0, kinds=("message",)).install(platform)
+    sender, receiver = _channel(platform)
+
+    def tx():
+        # Fire-and-forget: the wipe below kills this VPE's node, so
+        # nobody is left to observe the completion event.
+        sender.send(0, payload=("orphaned",), length=8)
+        return ()
+        yield  # pragma: no cover
+
+    platform.pe(0).run(tx(), "tx")
+    # Kernel-style quarantine before the first retransmit timer fires.
+    platform.sim.schedule(
+        params.DTU_RETX_TIMEOUT_CYCLES // 2,
+        lambda _: sender._apply_config("wipe", ()),
+    )
+    platform.sim.run()
+    assert sender.retransmits == 0
+    assert sender._retx == {}
+    assert receiver.fetch_message(1) is None
+
+
+def test_ack_arriving_after_quarantine_is_ignored(platform):
+    """The message is delivered, but its ack is delayed past the point
+    where the kernel quarantines (wipes) the sender: the late ack finds
+    no retransmit entry and is dropped without side effects."""
+    FaultPlan(seed=1).delay(1.0, cycles=(2_000, 2_000),
+                            kinds=("msg_ack",)).install(platform)
+    sender, receiver = _channel(platform)
+
+    def tx():
+        sender.send(0, payload=("late-ack",), length=8)
+        return ()
+        yield  # pragma: no cover
+
+    platform.pe(0).run(tx(), "tx")
+    platform.sim.schedule(1_000, lambda _: sender._apply_config("wipe", ()))
+    platform.sim.run()
+    assert platform.sim.now >= 2_000  # the delayed ack did arrive
+    assert sender._retx == {}
+    assert all(ep.kind.name == "INVALID" for ep in sender.eps)
+    # Delivery itself happened exactly once, before the quarantine.
+    assert receiver.fetch_message(1) is not None
+    assert receiver.fetch_message(1) is None
+
+
+def test_retransmit_schedule_is_seed_deterministic():
+    """Same seed, same lossy run: the retransmit/backoff schedule, the
+    fault schedule, and the final cycle count are all bit-identical —
+    and the seed actually matters."""
+
+    def lossy_run(seed):
+        platform = Platform.build(pe_count=4, mesh_width=3, mesh_height=2)
+        for pe in platform.pes:
+            pe.dtu.enable_reliability()
+        plan = FaultPlan(seed).drop(0.4, kinds=("message",))
+        plan.install(platform)
+        sender, receiver = platform.pe(0).dtu, platform.pe(1).dtu
+        configure_channel(sender, receiver, credits=12, slot_count=16)
+
+        def tx():
+            for i in range(10):
+                yield sender.send(0, payload=("msg", i), length=16)
+
+        platform.pe(0).run(tx(), "tx")
+        platform.sim.run()
+        received = []
+        while True:
+            fetched = receiver.fetch_message(1)
+            if fetched is None:
+                break
+            received.append(fetched[1].payload)
+        return (sender.retransmits, received,
+                [(r.cycle, r.action) for r in plan.events],
+                platform.sim.now)
+
+    assert lossy_run(11) == lossy_run(11)
+    assert lossy_run(11) != lossy_run(12)
+
+
 def test_wait_message_timeout_raises(platform):
     _sender, receiver = _channel(platform)
 

@@ -146,6 +146,53 @@ def test_kill_on_bare_network_rejected(platform):
         FaultPlan(seed=1).kill_pe(node=1, at=10).install(platform.network)
 
 
+def test_unknown_packet_kind_rejected_at_construction():
+    with pytest.raises(ValueError, match="unknown packet kind"):
+        FaultPlan(seed=1).drop(1.0, kinds=("mesage",))  # typo
+    with pytest.raises(ValueError, match="valid kinds are"):
+        FaultPlan(seed=1).corrupt(0.5, kinds=("message", "bogus"))
+
+
+def test_bad_rates_windows_and_cycles_rejected():
+    with pytest.raises(ValueError, match="probability"):
+        FaultPlan(seed=1).drop(1.5)
+    with pytest.raises(ValueError, match="window"):
+        FaultPlan(seed=1).drop(1.0, window=(-10, 100))
+    with pytest.raises(ValueError, match="window"):
+        FaultPlan(seed=1).drop(1.0, window=(200, 100))
+    with pytest.raises(ValueError, match="delay bounds"):
+        FaultPlan(seed=1).delay(1.0, cycles=(100, 50))
+    with pytest.raises(ValueError, match="kill cycle"):
+        FaultPlan(seed=1).kill_pe(node=1, at=-5)
+    with pytest.raises(ValueError, match="stall cycle"):
+        FaultPlan(seed=1).stall_pe(node=1, at=-5, duration=10)
+    with pytest.raises(ValueError, match="duration"):
+        FaultPlan(seed=1).stall_pe(node=1, at=0, duration=0)
+    with pytest.raises(ValueError, match="source node"):
+        FaultPlan(seed=1).drop(1.0, source=-1)
+    with pytest.raises(ValueError, match="destination node"):
+        FaultPlan(seed=1).drop(1.0, destination=-2)
+    with pytest.raises(ValueError, match="link"):
+        FaultPlan(seed=1).drop(1.0, link=(0, 1, 2))
+
+
+def test_nonexistent_targets_rejected_at_install(platform):
+    # The platform has 4 PE nodes (plus the DRAM node); node 99 exists
+    # nowhere, and (0, 2) is not a mesh link (two hops apart).
+    with pytest.raises(ValueError):
+        FaultPlan(seed=1).kill_pe(node=99, at=10).install(platform)
+    with pytest.raises(ValueError):
+        FaultPlan(seed=1).drop(1.0, source=99).install(platform)
+    with pytest.raises(ValueError):
+        FaultPlan(seed=1).drop(1.0, destination=99).install(platform)
+    with pytest.raises(ValueError):
+        FaultPlan(seed=1).drop(1.0, link=(0, 2)).install(platform)
+    # A failed install must not leave the plan half-attached: the
+    # network stays plan-free and a valid plan can still be installed.
+    assert platform.network.fault_plan is None
+    FaultPlan(seed=1).drop(0.0).install(platform)
+
+
 def test_no_plan_is_default_and_free(platform):
     assert platform.network.fault_plan is None
     receiver = _run_message(platform)
