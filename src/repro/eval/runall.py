@@ -43,6 +43,7 @@ from repro.eval import (
     fig7_accel,
     profile,
     tab_arm,
+    traffic,
 )
 from repro.obs import to_chrome_trace
 
@@ -94,6 +95,10 @@ def _critical_path() -> dict:
             critical_path.bench_table(critical_path.run()) + "\n"}
 
 
+def _traffic() -> dict:
+    return {"traffic.txt": traffic.bench_table(traffic.run()) + "\n"}
+
+
 def _profile() -> dict:
     system = profile.run()
     trace = to_chrome_trace(system.sim.obs)
@@ -116,6 +121,7 @@ _FIGURES = {
     "domain_failover": _domain_failover,
     "profile": _profile,
     "critical_path": _critical_path,
+    "traffic": _traffic,
 }
 
 
@@ -162,7 +168,10 @@ def build_jobs(select: list[str] | None = None) -> list[tuple]:
         for kernel_count in sorted(fig6_multikernel.KERNEL_COUNTS):
             for benchmark in fig6_multikernel.BENCHMARKS:
                 jobs.append(("fig6mk-point", benchmark, kernel_count))
-    for name in ("fig5_apps", "fault_tolerance", "domain_failover"):
+    # The traffic eval runs eight load points serially — heavy enough
+    # to start early alongside the fig6 points.
+    for name in ("traffic", "fig5_apps", "fault_tolerance",
+                 "domain_failover"):
         if wanted(name):
             jobs.append(("figure", name))
     for name in sorted(ablations.BENCH_SWEEPS):

@@ -157,9 +157,19 @@ class NetworkDevice(Device):
     def _serve(self):
         while True:
             slot, message = yield from self.dtu.wait_message(CMD_RECV_EP)
-            self.dtu.ack_message(CMD_RECV_EP, slot)
             op, offset, length = message.payload
-            if op != "tx" or self.wire is None:
+            bad = op != "tx" or self.wire is None
+            # Replying acknowledges the command AND refunds the driver's
+            # send credit (Section 4.4.4) — a NIC that only acks starves
+            # its command channel after max_credits lifetime commands.
+            # Fire-and-forget senders keep the plain-ack behaviour.
+            if message.can_reply:
+                yield self.dtu.reply(
+                    CMD_RECV_EP, slot, ("err" if bad else "ok", op), 16
+                )
+            else:
+                self.dtu.ack_message(CMD_RECV_EP, slot)
+            if bad:
                 self.raise_interrupt(("error", op))
                 continue
             frame = yield from self.dtu.read_memory(DMA_MEM_EP, offset, length)

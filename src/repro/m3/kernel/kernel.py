@@ -105,6 +105,15 @@ class Kernel:
         self.vpes: dict[int, VpeObject] = {}
         #: registered services by name.
         self.services: dict[str, ServiceObject] = {}
+        #: session router: logical service name -> ordered replica list
+        #: of ``(concrete service name, owning kernel id)``.  An
+        #: ``open_session`` naming a routed service is load-balanced
+        #: round-robin across the live replicas (dead domains skipped),
+        #: riding the ordinary local/inter-kernel ``srv_open`` paths.
+        self.service_routes: dict[str, tuple] = {}
+        self._route_cursor: dict[str, int] = {}
+        #: requests dispatched per replica by this kernel's router.
+        self.route_counts: dict[str, int] = {}
         #: DRAM allocator (`dram_reserve` bytes at the bottom stay free
         #: for platform-level uses); a partitioned kernel manages only
         #: its own shard ``[dram_base, dram_base + dram_bytes)``.
@@ -1247,7 +1256,53 @@ class Kernel:
         )
         yield  # pragma: no cover
 
+    # -- the session router (replicated service tiers) -------------------
+
+    def register_route(self, name: str, replicas) -> None:
+        """Route ``open_session(name)`` across service replicas.
+
+        ``replicas`` is an ordered sequence of ``(service_name,
+        kernel_id)`` pairs — the concrete instances of a replicated
+        service and the kernel domains hosting them.  Every kernel in
+        the system registers the same route (see
+        :meth:`M3System.register_service_route`), so each balances its
+        own clients round-robin; remote replicas are reached through
+        the existing inter-kernel ``srv_open`` path.
+        """
+        replicas = tuple(replicas)
+        if not replicas:
+            raise ValueError(f"route {name!r} needs at least one replica")
+        for replica, owner in replicas:
+            if replica == name:
+                raise ValueError(
+                    f"route {name!r} cannot contain itself as a replica"
+                )
+            if owner != self.kernel_id and owner not in self.peers:
+                raise ValueError(f"route {name!r}: unknown domain {owner}")
+        self.service_routes[name] = replicas
+        self._route_cursor.setdefault(name, 0)
+
+    def _resolve_route(self, name: str) -> str:
+        """Logical name -> next live replica (round-robin); a name with
+        no route resolves to itself."""
+        replicas = self.service_routes.get(name)
+        if not replicas:
+            return name
+        cursor = self._route_cursor[name]
+        for offset in range(len(replicas)):
+            replica, owner = replicas[(cursor + offset) % len(replicas)]
+            if owner == self.kernel_id or owner not in self.dead_peers:
+                self._route_cursor[name] = \
+                    (cursor + offset + 1) % len(replicas)
+                self.route_counts[replica] = \
+                    self.route_counts.get(replica, 0) + 1
+                return replica
+        # Every replica domain is dead: fall through with the cursor's
+        # pick so the client gets an ordinary "no service" error.
+        return replicas[cursor % len(replicas)][0]
+
     def _sys_open_session(self, vpe, slot, name):
+        name = self._resolve_route(name)
         service = self.services.get(name)
         if service is None:
             if self.peers:

@@ -28,7 +28,7 @@ from repro.hw.device import CMD_RECV_EP, DMA_MEM_EP, IRQ_SEND_EP, NetworkDevice,
 from repro.m3.kernel import syscalls
 from repro.m3.kernel.capability import Capability, CapKind
 from repro.m3.kernel.objects import RecvGateObject, SendGateObject
-from repro.m3.lib.gate import MemGate, RecvGate, SendGate
+from repro.m3.lib.gate import BoundRecvGate, MemGate, RecvGate, SendGate
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.m3.system import M3System
@@ -50,20 +50,33 @@ RX_BASE = 2048
 
 MAX_PAYLOAD = 200
 
+#: default per-socket inbox depth.  Open-loop load means a slow client
+#: can fall arbitrarily far behind its arrival stream; an unbounded
+#: inbox then grows without limit.  Frames beyond the bound are dropped
+#: and counted in ``frames_dropped``, like a real NIC ring overrun.
+INBOX_DEPTH = 64
+
 
 class _Socket:
-    def __init__(self, session_id: int):
+    def __init__(self, session_id: int, inbox_depth: int = INBOX_DEPTH):
         self.session_id = session_id
         self.port: int | None = None
         self.inbox: list[tuple[int, bytes]] = []
+        self.inbox_depth = inbox_depth
 
 
 class NetServ:
     """The service: socket state plus the NIC driver loop."""
 
-    def __init__(self, service_name: str = "net"):
+    def __init__(self, service_name: str = "net",
+                 inbox_depth: int = INBOX_DEPTH):
         self.service_name = service_name
+        self.inbox_depth = inbox_depth
         self.ready = None  # Event, attached before spawn
+        #: Event, attached before spawn: succeeds once the system layer
+        #: has wired the NIC and installed ``self.nic_cmd`` (replaces
+        #: the old poll-every-500-cycles startup busy-wait).
+        self.nic_attached = None
         self.env = None
         self.buffer: MemGate | None = None
         self.nic_cmd: SendGate | None = None
@@ -81,15 +94,26 @@ class NetServ:
         self.buffer = yield from MemGate.create(
             env, BUFFER_BYTES, MemoryPerm.RW.value
         )
+        # NIC commands go out as *calls*: the NIC's reply refunds the
+        # command gate's send credits.  Driving the NIC fire-and-forget
+        # exhausts the gate after max_credits lifetime commands — the
+        # NIC acks but never replies, so credits never come back.
+        self._nic_reply = BoundRecvGate(env, env.EP_REPLY)
         rgate = yield from RecvGate.create(env, slot_size=512, slot_count=32)
         yield from env.syscall(
             syscalls.CREATE_SRV, self.service_name, rgate.selector
         )
         if self.ready is not None:
             self.ready.succeed(self)
-        # the system layer wires the NIC and installs self.nic_cmd
-        while self.nic_cmd is None:
-            yield 500
+        # the system layer wires the NIC and installs self.nic_cmd,
+        # then fires nic_attached — an event handoff, not a busy-wait.
+        if self.nic_cmd is None:
+            if self.nic_attached is None:
+                raise RuntimeError(
+                    f"{self.service_name}: no NIC attached and no "
+                    "nic_attached event to wait on (use start_network)"
+                )
+            yield self.nic_attached
         while True:
             slot, message = yield from rgate.receive()
             yield env.os_work(params.M3FS_SERVER_CYCLES)
@@ -101,7 +125,9 @@ class NetServ:
             if message.label == 0:
                 if operation == "open_session":
                     session_id, _vpe = args
-                    self.sockets[session_id] = _Socket(session_id)
+                    self.sockets[session_id] = _Socket(
+                        session_id, inbox_depth=self.inbox_depth
+                    )
                     response = ("ok", ())
                 else:
                     response = ("err", f"unknown kernel op {operation!r}")
@@ -144,6 +170,11 @@ class NetServ:
         if socket is None:
             self.frames_dropped += 1
             return
+        if len(socket.inbox) >= socket.inbox_depth:
+            # The client is not draining its inbox: drop like a ring
+            # overrun instead of growing memory without bound.
+            self.frames_dropped += 1
+            return
         socket.inbox.append((src_port, bytes(frame[_HEADER.size :])))
         self.frames_routed += 1
 
@@ -168,10 +199,20 @@ class NetServ:
         if not self._tx_free:
             raise ValueError("tx ring full, retry later")
         slot = self._tx_free.pop(0)
-        offset = slot * TX_SLOT_BYTES
-        frame = _HEADER.pack(socket.port or 0, dst_port) + payload
-        yield from self.buffer.write(offset, frame)
-        yield from self.nic_cmd.send(("tx", offset, len(frame)), 32)
+        # The slot is only committed once the NIC owns the frame; any
+        # failure between the pop and the command send must return it
+        # or the ring shrinks by one slot per error, forever.
+        committed = False
+        try:
+            offset = slot * TX_SLOT_BYTES
+            frame = _HEADER.pack(socket.port or 0, dst_port) + payload
+            yield from self.buffer.write(offset, frame)
+            yield from self.nic_cmd.call(("tx", offset, len(frame)),
+                                         self._nic_reply, 32)
+            committed = True
+        finally:
+            if not committed:
+                self._tx_free.insert(0, slot)
         return len(payload)
 
     def _op_recv(self, socket: _Socket):
@@ -180,6 +221,73 @@ class NetServ:
             return socket.inbox.pop(0)
         return None
         yield  # pragma: no cover
+
+    def _op_close(self, socket: _Socket):
+        """Tear the session down: unbind the port, drop the socket.
+
+        Without this, a finished client's socket and bound port leak
+        forever — the port can never be reused.  Further requests on
+        the closed session fail with "no such session".
+        """
+        if socket.port is not None and self.ports.get(socket.port) is socket:
+            del self.ports[socket.port]
+        socket.port = None
+        socket.inbox.clear()
+        self.sockets.pop(socket.session_id, None)
+        return ()
+        yield  # pragma: no cover
+
+
+class NetClient:
+    """One application's session with a netserv instance.
+
+    Mirrors M3fsClient's request shape: every operation is a session
+    RPC; the service's ``("err", reason)`` replies surface as
+    :class:`RuntimeError`.
+    """
+
+    def __init__(self, env, sgate: SendGate):
+        self.env = env
+        self.sgate = sgate
+        self.reply_gate = BoundRecvGate(env, env.EP_REPLY)
+
+    @classmethod
+    def connect(cls, env, service: str = "net"):
+        """Generator: open a session with a netserv instance."""
+        _session_sel, sgate_sel = yield from env.syscall(
+            syscalls.OPEN_SESSION, service
+        )
+        return cls(env, SendGate(env, sgate_sel))
+
+    def request(self, operation: str, *args):
+        """Generator: one session RPC; returns the result."""
+        message = yield from self.sgate.call((operation, args),
+                                             self.reply_gate)
+        status, result = message.payload
+        if status != "ok":
+            raise RuntimeError(result)
+        return result
+
+    def bind(self, port: int):
+        return (yield from self.request("bind", port))
+
+    def send_to(self, dst_port: int, payload: bytes):
+        return (yield from self.request("send_to", dst_port, payload))
+
+    def recv(self):
+        """Generator: poll once; (src_port, payload) or None."""
+        return (yield from self.request("recv"))
+
+    def recv_blocking(self, poll_cycles: int = 2_000):
+        """Generator: poll until a datagram arrives."""
+        while True:
+            datagram = yield from self.request("recv")
+            if datagram is not None:
+                return datagram
+            yield poll_cycles
+
+    def close(self):
+        return (yield from self.request("close"))
 
 
 def start_network(system: "M3System", service_names=("net", "net2"),
@@ -200,9 +308,16 @@ def start_network(system: "M3System", service_names=("net", "net2"),
             system.sim, system.platform.network, base_node + index,
             name=f"nic{index}", rx_base=RX_BASE,
         )
+        if getattr(system, "reliable", False):
+            # Match the chip: an unreliable NIC DTU on a reliable
+            # platform deadlocks under packet loss — a dropped command
+            # reply or DMA response is never retransmitted, wedging the
+            # driver (or the NIC's serve loop) forever.
+            nic.dtu.enable_reliability()
         nics.append(nic)
         server = NetServ(service_name=name)
         server.ready = system.sim.event(f"{name}.ready")
+        server.nic_attached = system.sim.event(f"{name}.nic-attached")
         vpe = system.spawn(server.main, name=name)
         system.sim.run(until_event=server.ready)
         server.vpe = vpe
@@ -258,6 +373,7 @@ def start_network(system: "M3System", service_names=("net", "net2"),
             nic.start()
             server.nic = nic
             server.nic_cmd = SendGate(server.env, selector)
+            server.nic_attached.succeed(nic)
 
     system.sim.run_process(wire_devices(), "wire-network")
     return servers

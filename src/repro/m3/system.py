@@ -32,6 +32,9 @@ class M3System:
                  auto_rebalance: bool = False, reliable: bool = False,
                  observe: bool = False, **platform_kwargs):
         self.platform = platform or Platform.build(pe_count, **platform_kwargs)
+        #: whether DTUs run with reliable delivery; device DTUs created
+        #: after boot (e.g. NICs) consult this to match the chip.
+        self.reliable = reliable
         if reliable:
             # Reliable (acked/retransmitted) DTU messaging — required
             # under an injected fault plan, cycle-identical paths when off.
@@ -189,6 +192,25 @@ class M3System:
         if self.sim.obs is not None:
             self.sim.obs.label_node(vpe.node, f"service:{name}")
         return server
+
+    def register_service_route(self, name: str, replicas) -> None:
+        """Install a session route on every kernel domain.
+
+        ``replicas`` is an ordered sequence of ``(service_name,
+        domain_id)`` pairs.  Afterwards ``open_session(name)`` is
+        load-balanced round-robin across the live replicas by each
+        client's own kernel; replicas in peer domains are reached over
+        the inter-kernel ``srv_open`` path (whose owner cache is
+        pre-seeded here, so the first remote open skips the probe
+        walk).  Failover keeps routes correct automatically: dead
+        domains are skipped and their cache entries purged.
+        """
+        replicas = tuple(replicas)
+        for kernel in self.kernels:
+            kernel.register_route(name, replicas)
+            for replica, domain in replicas:
+                if domain != kernel.kernel_id:
+                    kernel._remote_services.setdefault(replica, domain)
 
     # -- software loading (the kernel's loader hook) -----------------------------
 

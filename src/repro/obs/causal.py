@@ -184,6 +184,8 @@ COMPONENT_BY_CATEGORY = {
     "noc": "noc-transfer",
     "noc-queue": "noc-contention",
     "m3fs": "service",
+    "kv": "service",
+    "traffic": "app",
     "ik": "inter-kernel",
 }
 

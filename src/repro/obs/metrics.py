@@ -5,6 +5,16 @@ produce byte-identical histograms — no wall-clock, no adaptive
 resizing.  Bucket 0 holds the value 0; bucket ``b`` (b >= 1) holds the
 half-open range ``[2^(b-1), 2^b)``.  64 buckets cover every cycle
 count a simulation can reasonably produce.
+
+For tail quantiles (p99, p999) the 2x bucket granularity is too
+coarse: every sample in ``[2^(b-1), 2^b)`` reports the same bound.
+``Histogram(precision=k)`` opts into HDR-style *log-linear
+sub-buckets*: each power-of-two range is split into ``2^k`` equal
+linear sub-buckets (values below ``2^(k+1)`` are counted exactly), so
+quantiles carry a relative error below ``2^-k`` while staying fully
+deterministic — sub-bucket edges are pure functions of the value.
+The default (``precision=None``) keeps the original behaviour bit for
+bit.
 """
 
 from __future__ import annotations
@@ -15,15 +25,23 @@ BUCKET_COUNT = 64
 class Histogram:
     """A log2-bucket histogram of non-negative integer samples."""
 
-    __slots__ = ("name", "counts", "count", "total", "min", "max")
+    __slots__ = ("name", "counts", "count", "total", "min", "max",
+                 "precision", "fine")
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "", precision: int | None = None):
         self.name = name
         self.counts = [0] * BUCKET_COUNT
         self.count = 0
         self.total = 0
         self.min: int | None = None
         self.max: int | None = None
+        if precision is not None and precision < 1:
+            raise ValueError(f"precision must be >= 1, got {precision}")
+        self.precision = precision
+        #: sub-bucket lower bound -> count (only with ``precision``).
+        self.fine: dict[int, int] | None = (
+            {} if precision is not None else None
+        )
 
     def observe(self, value: int) -> None:
         """Record one sample."""
@@ -37,6 +55,9 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if self.fine is not None:
+            low, _high = self.fine_bounds(value)
+            self.fine[low] = self.fine.get(low, 0) + 1
 
     @staticmethod
     def bucket_bounds(index: int) -> tuple[int, int]:
@@ -47,6 +68,22 @@ class Histogram:
             return (0, 1)
         return (1 << (index - 1), 1 << index)
 
+    def fine_bounds(self, value: int) -> tuple[int, int]:
+        """Half-open ``[low, high)`` log-linear sub-bucket of ``value``.
+
+        Requires ``precision``.  Values with at most ``precision + 1``
+        significant bits are counted exactly (width-1 sub-buckets);
+        above that, the power-of-two range ``[2^e, 2^(e+1))`` is split
+        into ``2^precision`` sub-buckets of width ``2^(e - precision)``.
+        """
+        if self.precision is None:
+            raise ValueError("fine_bounds requires a precision histogram")
+        shift = value.bit_length() - 1 - self.precision
+        if shift <= 0:
+            return (value, value + 1)
+        low = (value >> shift) << shift
+        return (low, low + (1 << shift))
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -55,7 +92,10 @@ class Histogram:
         """Upper bound of the bucket containing the given quantile.
 
         Deterministic and conservative: the true value is strictly below
-        the returned bound.  Returns 0 on an empty histogram.
+        the returned bound.  Returns 0 on an empty histogram.  With
+        ``precision`` set, the bound comes from the log-linear
+        sub-buckets (relative error below ``2^-precision``) instead of
+        the 2x-granularity log2 buckets.
         """
         if not (0.0 <= fraction <= 1.0):
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
@@ -63,6 +103,13 @@ class Histogram:
             return 0
         threshold = fraction * self.count
         seen = 0
+        if self.fine is not None:
+            for low in sorted(self.fine):
+                seen += self.fine[low]
+                if seen >= threshold:
+                    shift = low.bit_length() - 1 - self.precision
+                    return low + (1 << shift if shift > 0 else 1)
+            raise AssertionError("unreachable")  # pragma: no cover
         for index, bucket_count in enumerate(self.counts):
             seen += bucket_count
             if bucket_count and seen >= threshold:

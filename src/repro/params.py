@@ -354,6 +354,29 @@ SQLITE_INSERT_CYCLES = 40_000
 SQLITE_SELECT_CYCLES = 70_000
 
 # --------------------------------------------------------------------------
+# Key-value service tier and traffic workload (the "serve heavy
+# traffic" scenario; not part of the paper's calibrated figures).
+# --------------------------------------------------------------------------
+
+#: Server-side software cost of one kv request (hash lookup, store
+#: bookkeeping, reply marshalling).  Slightly above the m3fs server
+#: share: a kv op touches the value where an m3fs metadata op does not.
+KV_SERVER_CYCLES = 120
+
+#: Client-side share of a kv RPC (marshalling, unmarshalling,
+#: descriptor bookkeeping), mirroring the m3fs split: only the
+#: server-side share serialises at a replica.
+KV_CLIENT_RPC_CYCLES = 400
+
+#: Server-side value copy bandwidth (bytes/cycle) — the value rides in
+#: the request/reply message, so it moves at DTU speed.
+KV_VALUE_BYTES_PER_CYCLE = 8
+
+#: kv request/reply message capacity (same geometry as m3fs).
+KV_MSG_BYTES = 496
+KV_RING_SLOTS = 64
+
+# --------------------------------------------------------------------------
 # Platform shape used by the evaluation
 # --------------------------------------------------------------------------
 

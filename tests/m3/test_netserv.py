@@ -2,41 +2,8 @@
 
 import pytest
 
-from repro.m3.kernel import syscalls
-from repro.m3.lib.gate import BoundRecvGate, SendGate
 from repro.m3.system import M3System
-from repro.m3.services.netserv import start_network
-
-
-class NetClient:
-    """Tiny client-side helper mirroring M3fsClient's request shape."""
-
-    def __init__(self, env, sgate):
-        self.env = env
-        self.sgate = sgate
-        self.reply_gate = BoundRecvGate(env, env.EP_REPLY)
-
-    @classmethod
-    def connect(cls, env, service="net"):
-        _session_sel, sgate_sel = yield from env.syscall(
-            syscalls.OPEN_SESSION, service
-        )
-        return cls(env, SendGate(env, sgate_sel))
-
-    def request(self, operation, *args):
-        message = yield from self.sgate.call((operation, args),
-                                             self.reply_gate)
-        status, result = message.payload
-        if status != "ok":
-            raise RuntimeError(result)
-        return result
-
-    def recv_blocking(self, poll_cycles=2_000):
-        while True:
-            datagram = yield from self.request("recv")
-            if datagram is not None:
-                return datagram
-            yield poll_cycles
+from repro.m3.services.netserv import NetClient, start_network
 
 
 @pytest.fixture
@@ -259,6 +226,149 @@ def test_runt_frame_is_dropped_not_crashing(net_system):
     system.run_app(sender, name="tx")
     src, payload = system.wait(receiver_vpe)
     assert (src, bytes(payload)) == (61, b"still alive")
+
+
+def test_tx_slot_survives_send_failure(net_system):
+    """Regression: a failure after the TX slot is popped (buffer write
+    or NIC command send raising) must return the slot to the free list.
+    Pre-fix, each error leaked one slot and the ring drained to empty,
+    wedging the service with "tx ring full" forever."""
+    from repro.m3.services.netserv import TX_SLOTS
+
+    system, servers = net_system
+    server = servers[0]
+    real_nic_cmd = server.nic_cmd
+
+    class WedgedGate:
+        def call(self, payload, reply_gate, length=None):
+            raise ValueError("nic wedged")
+            yield  # pragma: no cover - generator shape
+
+    def app(env):
+        client = yield from NetClient.connect(env, "net")
+        yield from client.request("bind", 40)
+        # Drive one failing send per TX slot, plus one more: pre-fix
+        # the ring is empty after TX_SLOTS errors and the final error
+        # flips from "nic wedged" to "tx ring full".
+        server.nic_cmd = WedgedGate()
+        errors = []
+        for _ in range(TX_SLOTS + 1):
+            try:
+                yield from client.request("send_to", 41, b"doomed")
+            except RuntimeError as exc:
+                errors.append(str(exc))
+        server.nic_cmd = real_nic_cmd
+        # The ring must be whole again: a real send still goes out.
+        sent = yield from client.request("send_to", 41, b"recovered")
+        return errors, sent
+
+    errors, sent = system.run_app(app, name="tx-err")
+    assert errors == ["nic wedged"] * (TX_SLOTS + 1)
+    assert sent == len(b"recovered")
+    system.sim.run(until=system.sim.now + 30_000)  # drain txdone
+    assert sorted(server._tx_free) == list(range(TX_SLOTS))
+
+
+def test_tx_command_credits_are_refunded(net_system):
+    """Regression: the NIC command gate has finite credits and the NIC
+    used to *ack* tx commands without replying, so credits never came
+    back — any netserv instance went silent after max_credits lifetime
+    sends (MissingCredits crashed the service).  The NIC now replies to
+    commands, refunding the credit, so the lifetime send count is
+    unbounded."""
+    system, servers = net_system
+    count = 3 * 8 + 1  # well past any plausible credit budget
+
+    def receiver(env):
+        client = yield from NetClient.connect(env, "net2")
+        yield from client.request("bind", 95)
+        got = 0
+        for _ in range(count):
+            yield from client.recv_blocking()
+            got += 1
+        return got
+
+    def sender(env):
+        client = yield from NetClient.connect(env, "net")
+        yield from client.request("bind", 94)
+        for index in range(count):
+            yield from client.request("send_to", 95, b"n%d" % index)
+        return ()
+
+    receiver_vpe = system.spawn(receiver, name="rx")
+    system.sim.run(until=system.sim.now + 30_000)
+    system.run_app(sender, name="tx")
+    assert system.wait(receiver_vpe) == count
+    assert servers[0].nic.frames_sent == count
+
+
+def test_full_inbox_drops_and_counts(net_system):
+    """Regression: a socket that never drains its inbox must not grow
+    it without bound — frames beyond the configured depth are dropped
+    and counted in frames_dropped."""
+    system, servers = net_system
+    receiver_server = servers[1]
+    receiver_server.inbox_depth = 4
+
+    def receiver(env):
+        client = yield from NetClient.connect(env, "net2")
+        yield from client.request("bind", 55)
+        yield 200_000  # never drain: let the sender overrun the inbox
+        got = []
+        while True:
+            datagram = yield from client.request("recv")
+            if datagram is None:
+                break
+            got.append(bytes(datagram[1]))
+        return got
+
+    def sender(env):
+        client = yield from NetClient.connect(env, "net")
+        yield from client.request("bind", 56)
+        for index in range(6):  # two more than the inbox holds
+            yield from client.request("send_to", 55, b"flood-%d" % index)
+        return ()
+
+    receiver_vpe = system.spawn(receiver, name="rx")
+    system.sim.run(until=system.sim.now + 30_000)
+    system.run_app(sender, name="tx")
+    got = system.wait(receiver_vpe)
+    # Exactly the first inbox_depth frames survive, in order.
+    assert got == [b"flood-%d" % index for index in range(4)]
+    assert receiver_server.frames_dropped == 2
+    assert receiver_server.frames_routed == 4
+
+
+def test_close_reclaims_session_and_port(net_system):
+    """Regression: sessions were never reclaimed — no close path meant
+    a finished client's socket and bound port leaked forever.  close
+    must unbind the port (rebindable by a later client) and drop the
+    socket (further requests fail)."""
+    system, servers = net_system
+    server = servers[0]
+
+    def app(env):
+        a = yield from NetClient.connect(env, "net")
+        yield from a.request("bind", 50)
+        sessions_before = len(server.sockets)
+        yield from a.request("close")
+        outcomes = [
+            len(server.sockets) == sessions_before - 1,
+            50 not in server.ports,
+        ]
+        try:
+            yield from a.request("bind", 50)
+            outcomes.append("closed session still served")
+        except RuntimeError as exc:
+            outcomes.append(str(exc))
+        # the port is free again: a fresh session can bind it
+        b = yield from NetClient.connect(env, "net")
+        yield from b.request("bind", 50)
+        return outcomes
+
+    socket_dropped, port_unbound, post_close = system.run_app(app)
+    assert socket_dropped and port_unbound
+    assert post_close == "no such session"
 
 
 def test_rebind_frees_the_old_port(net_system):

@@ -55,6 +55,89 @@ def test_mean_and_percentiles():
         hist.percentile(1.5)
 
 
+def test_fine_bounds_partition_each_octave():
+    hist = Histogram(precision=2)
+    # Values with <= 3 significant bits are exact (width-1 sub-buckets).
+    for value in range(8):
+        assert hist.fine_bounds(value) == (value, value + 1)
+    # [8, 16) splits into 2^2 = 4 sub-buckets of width 2: contiguous,
+    # gap-free, and ending exactly at the octave's top.
+    previous_high = 8
+    for value in range(8, 16):
+        low, high = hist.fine_bounds(value)
+        assert low <= value < high
+        assert high - low == 2
+        if low == previous_high:
+            previous_high = high
+    assert previous_high == 16
+    # An arbitrary large value keeps precision+1 significant bits.
+    low, high = hist.fine_bounds(1000)
+    assert (low, high) == (896, 1024)
+    assert high - low == 128  # 2^(9 - 2)
+
+
+def test_fine_bounds_requires_precision():
+    with pytest.raises(ValueError):
+        Histogram().fine_bounds(10)
+    with pytest.raises(ValueError):
+        Histogram(precision=0)
+
+
+def test_precision_percentiles_resolve_the_tail():
+    coarse = Histogram()
+    fine = Histogram(precision=7)
+    # 998 fast requests at 100 cycles, one straggler at 7000: the
+    # coarse p999 can only answer "below 8192"; the fine histogram
+    # pins the straggler to within 1/128 of its value.
+    for _ in range(998):
+        coarse.observe(100)
+        fine.observe(100)
+    coarse.observe(7000)
+    fine.observe(7000)
+    assert coarse.percentile(0.999) == 8192
+    p999 = fine.percentile(0.999)
+    assert 7000 < p999 <= 7000 * (1 + 1 / 128)
+    assert p999 == 7008  # [6976, 7008): width 2^(12-7) = 32
+    # The coarse buckets are still maintained (rows() unchanged).
+    assert fine.counts[7] == 998  # [64, 128)
+
+
+def test_precision_boundary_quantiles():
+    hist = Histogram(precision=4)
+    assert hist.percentile(0.0) == 0  # empty
+    for value in (10, 20, 30, 40):
+        hist.observe(value)
+    # p0: the first non-empty sub-bucket's upper bound.  10 has 4
+    # significant bits (<= precision + 1), so it is counted exactly.
+    assert hist.percentile(0.0) == 11
+    # p50 at an even count: threshold = 2 lands on the second sample.
+    assert hist.percentile(0.5) == 21
+    # p100: the bound of the sub-bucket holding the maximum.
+    assert hist.percentile(1.0) == 42  # [40, 42): width 2^(5-4) = 2
+    # Exact region: every distinct small value is its own sub-bucket.
+    small = Histogram(precision=4)
+    for value in (3, 3, 7, 9):
+        small.observe(value)
+    assert small.percentile(0.5) == 4
+    assert small.percentile(1.0) == 10
+
+
+def test_precision_zero_sample_and_determinism():
+    hist = Histogram(precision=3)
+    hist.observe(0)
+    assert hist.percentile(0.5) == 1
+    # Replayed observations give identical fine state: pure functions
+    # of the sample values, no insertion-order effects.
+    a, b = Histogram(precision=3), Histogram(precision=3)
+    for value in (500, 17, 0, 9000, 17, 123456):
+        a.observe(value)
+    for value in (123456, 0, 17, 9000, 500, 17):
+        b.observe(value)
+    assert a.fine == b.fine
+    assert [a.percentile(f) for f in (0.0, 0.5, 0.99, 1.0)] == \
+        [b.percentile(f) for f in (0.0, 0.5, 0.99, 1.0)]
+
+
 def test_rows_only_nonempty_buckets_with_cumulative_share():
     hist = Histogram()
     hist.observe(1)

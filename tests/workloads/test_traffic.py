@@ -1,0 +1,98 @@
+"""The traffic workload: schedules, the serving stack, faults, tails."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.obs import causal
+from repro.workloads import traffic
+from repro.workloads.traffic import TrafficProfile, build_schedule, run_profile
+
+SMALL = TrafficProfile(requests=48, clients=64)
+
+
+def test_schedule_is_a_pure_function_of_the_profile():
+    first, second = build_schedule(SMALL), build_schedule(SMALL)
+    assert first == second
+    assert len(first) == SMALL.requests
+    # strictly ordered ids, non-decreasing arrival cycles
+    assert [a.req_id for a in first] == list(range(1, SMALL.requests + 1))
+    assert all(later.at >= earlier.at
+               for earlier, later in zip(first, first[1:]))
+    # a different seed moves the arrivals
+    assert build_schedule(TrafficProfile(
+        requests=48, clients=64, seed=7)) != first
+
+
+def test_schedule_shapes_and_bounds():
+    arrivals = build_schedule(TrafficProfile(requests=200, clients=32))
+    sizes = [a.value_len for a in arrivals if a.op == traffic.OP_PUT]
+    assert sizes, "no puts in a 30% put mix?"
+    assert all(16 <= size <= 384 for size in sizes)
+    assert max(sizes) > 2 * min(sizes), "no heavy tail in sizes"
+    assert all(0 <= a.client < 32 and 0 <= a.key_id < 64 for a in arrivals)
+
+    bursty = build_schedule(TrafficProfile(
+        requests=64, arrival="bursty", burst=8))
+    # bursts: runs of arrivals spaced exactly burst_spacing apart
+    gaps = [later.at - earlier.at
+            for earlier, later in zip(bursty, bursty[1:])]
+    assert gaps.count(TrafficProfile().burst_spacing) >= 32
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        TrafficProfile(arrival="lumpy")
+    with pytest.raises(ValueError):
+        TrafficProfile(keys=1000)
+    with pytest.raises(ValueError):
+        TrafficProfile(size_floor=0)
+
+
+def test_load_point_completes_and_measures(small_point):
+    result = small_point
+    assert result.sent == result.completed == SMALL.requests
+    assert result.drops == 0 and result.kv_errors == 0
+    assert result.histogram.count == SMALL.requests
+    assert all(latency > 0 for latency in result.latencies.values())
+    # both gateways served, both replicas were routed to and served
+    assert all(served > 0 for served in result.served_by)
+    assert sorted(result.route_counts) == ["kv0", "kv1"]
+    assert all(count > 0 for count in result.replica_requests.values())
+
+
+def test_load_point_is_deterministic(small_point):
+    again = run_profile(SMALL)
+    assert again.latencies == small_point.latencies
+    assert again.served_by == small_point.served_by
+    assert again.replica_requests == small_point.replica_requests
+
+
+@pytest.fixture(scope="module")
+def small_point():
+    return run_profile(SMALL)
+
+
+def test_observed_run_traces_the_tail():
+    result = run_profile(SMALL, observe=True)
+    # observability must not change the measured timing
+    assert result.latencies == run_profile(SMALL).latencies
+    req_id, _latency = max(result.latencies.items(),
+                           key=lambda item: (item[1], -item[0]))
+    request = causal.find_request(
+        result.system.sim.obs, f"req{req_id}", category="traffic"
+    )
+    segments = causal.critical_path(request)
+    breakdown = causal.component_breakdown(segments)
+    assert sum(segment.cycles for segment in segments) == \
+        request.total_cycles
+    assert breakdown.get("service", 0) > 0, "kv handling missing"
+    assert breakdown.get("noc-transfer", 0) > 0
+
+
+def test_mid_load_fault_plan_is_survived():
+    plan = FaultPlan(SMALL.seed).drop(0.02, window=(100_000, 200_000))
+    result = run_profile(SMALL, fault_plan=plan)
+    assert result.completed == SMALL.requests, "loss must be retransmitted"
+    assert result.fault_events > 0
+    assert result.noc_packets_lost == result.fault_events
+    assert result.dtu_retransmits > 0
