@@ -70,9 +70,10 @@ def _ring(sim: Simulator, ring: int, counters: list) -> None:
     mailboxes[0].put(ENGINE_HOPS)
 
 
-def engine_workload() -> tuple[int, int]:
+def engine_workload(sim: Simulator | None = None) -> tuple[int, int]:
     """Run the synthetic workload; (simulated cycles, tokens passed)."""
-    sim = Simulator()
+    if sim is None:
+        sim = Simulator()
     counters = [0]
     for ring in range(ENGINE_RINGS):
         _ring(sim, ring, counters)
@@ -80,16 +81,59 @@ def engine_workload() -> tuple[int, int]:
     return sim.now, counters[0]
 
 
+#: repeat the engine microbenchmark and keep the fastest run: the
+#: best-of filters scheduler noise on shared runners (observed swings
+#: are ±20% on one sample), which a 30% gate cannot absorb.
+ENGINE_REPEATS = 3
+
+
 def measure_engine() -> dict:
-    start = time.perf_counter()
-    cycles, tokens = engine_workload()
-    elapsed = time.perf_counter() - start
+    best_elapsed, cycles, tokens = None, 0, 0
+    for _ in range(ENGINE_REPEATS):
+        start = time.perf_counter()
+        cycles, tokens = engine_workload()
+        elapsed = time.perf_counter() - start
+        if best_elapsed is None or elapsed < best_elapsed:
+            best_elapsed = elapsed
     return {
         "simulated_cycles": cycles,
-        "wall_seconds": round(elapsed, 4),
-        "sim_cycles_per_second": round(cycles / elapsed, 1),
+        "wall_seconds": round(best_elapsed, 4),
+        "sim_cycles_per_second": round(cycles / best_elapsed, 1),
         "token_hops": tokens,
     }
+
+
+def measure_engine_sharded() -> dict:
+    """Engine throughput through the exact-mode sharded facade.
+
+    The same workload as :func:`measure_engine`, driven through
+    ``ShardedSimulator`` at each shard count — this is the facade the
+    full system runs on under ``M3System(shards=n)``, so the ratio to
+    the monolithic number is the per-event cost of the (cycle, seq)
+    heap merge.
+    """
+    from repro.noc.topology import MeshTopology
+    from repro.sim.shard import ShardPlan, ShardedSimulator
+
+    topology = MeshTopology(4, 3)
+    nodes = list(range(8))
+    rates: dict[str, float] = {}
+    for shards in (1, 2, 4):
+        chunk, extra = divmod(len(nodes), shards)
+        domains, base = [], 0
+        for index in range(shards):
+            width = chunk + (1 if index < extra else 0)
+            domains.append(nodes[base:base + width])
+            base += width
+        plan = ShardPlan.from_domains(domains, shards, topology, 3)
+        best = None
+        for _ in range(ENGINE_REPEATS):
+            start = time.perf_counter()
+            cycles, _tokens = engine_workload(ShardedSimulator(plan))
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        rates[str(shards)] = round(cycles / best, 1)
+    return rates
 
 
 # -- per-figure wall time ------------------------------------------------------
@@ -120,13 +164,52 @@ def measure_figures() -> dict:
     return timings
 
 
+def measure_traffic_shards() -> dict:
+    """Wall seconds for the traffic evals per shard count.
+
+    Times the reference traffic point and the 4-domain variant at each
+    shard count — the numbers the sharded-simulation work gates on:
+    sharding must not cost wall time at the default shape, and the
+    4-domain variant is where the boundary crossings actually flow.
+    """
+    from repro.eval import traffic as traffic_eval
+    from repro.workloads import traffic
+
+    reference = traffic_eval._curve_profile(traffic_eval.REFERENCE_GAP)
+    timings: dict[str, dict[str, float]] = {"traffic": {}, "variant4": {}}
+    for shards in (1, 2):
+        start = time.perf_counter()
+        traffic.run_profile(reference, shards=shards)
+        timings["traffic"][str(shards)] = round(
+            time.perf_counter() - start, 3
+        )
+    for shards in (1, 2, 4):
+        start = time.perf_counter()
+        traffic.run_profile(
+            reference,
+            shards=shards,
+            pe_count=traffic_eval.VARIANT_PE_COUNT,
+            kernel_count=traffic_eval.VARIANT_KERNEL_COUNT,
+            gateways=traffic_eval.VARIANT_GATEWAYS,
+            ep_count=traffic_eval.VARIANT_EP_COUNT,
+        )
+        timings["variant4"][str(shards)] = round(
+            time.perf_counter() - start, 3
+        )
+    return timings
+
+
 def measure() -> dict:
     engine = measure_engine()
+    engine_sharded = measure_engine_sharded()
     figures = measure_figures()
+    traffic_shards = measure_traffic_shards()
     return {
         "schema": SCHEMA_VERSION,
         "engine": engine,
+        "engine_sharded_cycles_per_second": engine_sharded,
         "figures": figures,
+        "traffic_shards_seconds": traffic_shards,
         "total_seconds": round(sum(figures.values()), 3),
     }
 
@@ -159,7 +242,16 @@ def report(current: dict, baseline: dict | None) -> str:
         f"engine: {current['engine']['sim_cycles_per_second']:,.0f} "
         f"sim cycles/s over {current['engine']['simulated_cycles']:,} "
         f"cycles",
+        "sharded engine (exact mode): " + ", ".join(
+            f"shards={shards}: {rate:,.0f}/s" for shards, rate in
+            current["engine_sharded_cycles_per_second"].items()
+        ),
     ]
+    for label, per_shard in current["traffic_shards_seconds"].items():
+        lines.append(f"  {label:<20s} " + "  ".join(
+            f"shards={shards}: {seconds:.3f}s"
+            for shards, seconds in per_shard.items()
+        ))
     for name, seconds in sorted(current["figures"].items()):
         line = f"  {name:<20s} {seconds:7.3f}s"
         if baseline is not None and name in baseline.get("figures", {}):

@@ -25,6 +25,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import multiprocessing
 import pathlib
@@ -95,8 +96,9 @@ def _critical_path() -> dict:
             critical_path.bench_table(critical_path.run()) + "\n"}
 
 
-def _traffic() -> dict:
-    return {"traffic.txt": traffic.bench_table(traffic.run()) + "\n"}
+def _traffic(shards: int = 1) -> dict:
+    return {"traffic.txt":
+            traffic.bench_table(traffic.run(shards=shards)) + "\n"}
 
 
 def _profile() -> dict:
@@ -125,10 +127,19 @@ _FIGURES = {
 }
 
 
-def _execute(job: tuple):
-    """Run one job spec in a (possibly forked) worker process."""
+def _execute(job: tuple, shards: int = 1):
+    """Run one job spec in a (possibly forked) worker process.
+
+    ``shards`` threads the engine shard count into the evals that
+    support it (traffic, fig6 multikernel); every other figure ignores
+    it.  Results are byte-identical for any value — the determinism
+    contract covers host workers (``--jobs``) and engine shards
+    (``--shards``) alike.
+    """
     kind = job[0]
     if kind == "figure":
+        if job[1] == "traffic":
+            return _traffic(shards=shards)
         return _FIGURES[job[1]]()
     if kind == "ablation":
         sweep, table = ablations.BENCH_SWEEPS[job[1]]
@@ -138,7 +149,9 @@ def _execute(job: tuple):
         return fig6_scale.average_instance_time(benchmark, count)
     if kind == "fig6mk-point":
         _, benchmark, kernel_count = job
-        return fig6_multikernel.average_instance_time(benchmark, kernel_count)
+        return fig6_multikernel.average_instance_time(
+            benchmark, kernel_count, shards=shards
+        )
     raise ValueError(f"unknown job kind: {job!r}")
 
 
@@ -229,24 +242,27 @@ def _collect(jobs: list[tuple], outcomes: list) -> dict:
 
 
 def run_all(jobs: int | None = None, select: list[str] | None = None,
-            results_dir=None) -> dict:
+            results_dir=None, shards: int = 1) -> dict:
     """Run the evaluation suite; write results files; return contents.
 
     ``jobs`` is the pool size (``None`` = one per CPU, 1 = serial
-    in-process).  Output is identical for every value of ``jobs``.
+    in-process); ``shards`` is the engine shard count for the evals
+    that support sharding.  Output is identical for every value of
+    both.
     """
     specs = build_jobs(select)
     if jobs is None:
         jobs = multiprocessing.cpu_count()
     workers = max(1, min(jobs, len(specs)))
     if workers == 1:
-        outcomes = [_execute(spec) for spec in specs]
+        outcomes = [_execute(spec, shards=shards) for spec in specs]
     else:
         # fork shares the already-imported modules with the children;
         # chunksize=1 keeps the slow fig6 points spread across workers.
+        execute = functools.partial(_execute, shards=shards)
         context = multiprocessing.get_context("fork")
         with context.Pool(processes=workers) as pool:
-            outcomes = pool.map(_execute, specs, chunksize=1)
+            outcomes = pool.map(execute, specs, chunksize=1)
     files = _collect(specs, outcomes)
     directory = pathlib.Path(results_dir) if results_dir else RESULTS_DIR
     directory.mkdir(exist_ok=True)
@@ -272,9 +288,14 @@ def main(argv=None) -> int:
         "--results-dir", default=None,
         help=f"output directory (default: {RESULTS_DIR})",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="engine shard count for the sharded evals (results are "
+        "byte-identical at any value; see docs/performance.md)",
+    )
     options = parser.parse_args(argv)
     files = run_all(jobs=options.jobs, select=options.select,
-                    results_dir=options.results_dir)
+                    results_dir=options.results_dir, shards=options.shards)
     for filename in sorted(files):
         print(filename)
     return 0

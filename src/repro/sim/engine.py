@@ -101,6 +101,29 @@ class Simulator:
         self._bucket.append(entry)
         return entry
 
+    def schedule_at(self, when: int, callback, argument: object = None) -> list:
+        """Run ``callback(argument)`` at absolute cycle ``when`` (>= now).
+
+        The cross-shard injection primitive (:mod:`repro.sim.shard`):
+        barrier drains re-schedule egressed events into the peer
+        shard's queue at their original cycle.  Same-cycle injections
+        keep FIFO order behind the currently queued callbacks.
+        Returns a handle accepted by :meth:`cancel`.
+        """
+        if type(when) is not int:
+            when = _as_cycles(when, "when")
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule into the past (when={when}, now={self.now})"
+            )
+        if when == self.now:
+            entry = [callback, argument]
+            self._bucket.append(entry)
+        else:
+            entry = [when, next(self._sequence), callback, argument]
+            heapq.heappush(self._heap, entry)
+        return entry
+
     def cancel(self, handle: list) -> None:
         """Cancel a callback scheduled with :meth:`schedule`/:meth:`call_soon`.
 
@@ -108,9 +131,13 @@ class Simulator:
         reaches the front, so cancelled timers (``Signal.wait``
         timeouts and the like) leave no dead callbacks behind.
         Cancelling an already-executed or already-cancelled handle is a
-        no-op.
+        no-op: execution blanks the entry too, so a late cancel (a
+        retry timer disarmed by the reply it retransmitted for, say)
+        cannot disturb the ``pending_events`` accounting.
         """
-        # Both entry shapes keep the callback in the second-to-last slot.
+        # Both entry shapes keep the callback in the second-to-last slot;
+        # executed entries are blanked at pop time, so the branch below
+        # is only taken for entries still waiting in a queue.
         if handle[-2] is not None:
             handle[-2] = None
             self._cancelled += 1
@@ -182,6 +209,10 @@ class Simulator:
             if callback is None:
                 self._cancelled -= 1
                 continue
+            # Blank the entry before running it: the handle is consumed,
+            # so a cancel issued later (or from inside the callback
+            # itself) is the promised no-op.
+            entry[-2] = None
             callback(entry[-1])
             return True
 
@@ -202,21 +233,40 @@ class Simulator:
                     if callback is None:
                         self._cancelled -= 1
                     else:
+                        entry[-2] = None
                         callback(entry[-1])
                 if not self._advance():
                     return
+        # Bounded loop: drain the bucket in bursts, checking the stop
+        # conditions only where they can change — ``until`` gates heap
+        # advancement, ``until_event`` can only trigger from inside a
+        # callback.
+        heap = self._heap
+        if until_event is not None and until_event.triggered:
+            return
         while True:
-            if until_event is not None and until_event.triggered:
-                return
             if bucket:
-                entry = bucket.popleft()
-                callback = entry[-2]
-                if callback is None:
-                    self._cancelled -= 1
+                if until_event is None:
+                    while bucket:
+                        entry = bucket.popleft()
+                        callback = entry[-2]
+                        if callback is None:
+                            self._cancelled -= 1
+                        else:
+                            entry[-2] = None
+                            callback(entry[-1])
                 else:
-                    callback(entry[-1])
+                    while bucket:
+                        entry = bucket.popleft()
+                        callback = entry[-2]
+                        if callback is None:
+                            self._cancelled -= 1
+                            continue
+                        entry[-2] = None
+                        callback(entry[-1])
+                        if until_event.triggered:
+                            return
                 continue
-            heap = self._heap
             while heap and heap[0][2] is None:
                 heapq.heappop(heap)
                 self._cancelled -= 1

@@ -357,21 +357,37 @@ class TrafficResult:
 
 def run_profile(profile: TrafficProfile,
                 fault_plan: "FaultPlan | None" = None,
-                observe: bool = False) -> TrafficResult:
-    """Boot the serving stack, drive one load point, measure it."""
-    system = M3System(pe_count=PE_COUNT, kernel_count=KERNEL_COUNT,
-                      reliable=True, observe=observe)
+                observe: bool = False, shards: int = 1,
+                pe_count: int = PE_COUNT,
+                kernel_count: int = KERNEL_COUNT,
+                gateways: int = GATEWAYS,
+                **system_kwargs) -> TrafficResult:
+    """Boot the serving stack, drive one load point, measure it.
+
+    ``shards`` runs the sharded engine (byte-identical results at any
+    count — see docs/performance.md); ``pe_count``/``kernel_count``/
+    ``gateways`` grow the platform for scale variants (defaults are the
+    fixed 12-PE, 2-domain shape above).  Gateways spread round-robin
+    over the non-zero domains, so the default places both in domain 1
+    exactly as before.  Extra keyword arguments reach ``M3System``
+    (e.g. ``ep_count`` — a 4-domain kernel needs a bigger EP table for
+    its peer send gates).
+    """
+    system = M3System(pe_count=pe_count, kernel_count=kernel_count,
+                      reliable=True, observe=observe, shards=shards,
+                      **system_kwargs)
     if fault_plan is not None:
         fault_plan.install(system.platform)
     system.boot(with_fs=False)
     netservs = start_network(system)
     kv_servers = start_kv_tier(system)
-    run = TrafficRun(profile)
+    run = TrafficRun(profile, gateways=gateways)
     gw_vpes = []
-    for index in range(GATEWAYS):
+    for index in range(gateways):
         ready = system.sim.event(f"gw{index}.ready")
         gw_vpes.append(system.spawn(gateway_app, run, index, ready,
-                                    name=f"gw{index}", domain=1))
+                                    name=f"gw{index}",
+                                    domain=1 + index % (kernel_count - 1)))
         system.sim.run(until_event=ready)
         if not ready.triggered:
             raise RuntimeError(f"traffic gateway {index} failed to start")
@@ -394,7 +410,13 @@ def run_profile(profile: TrafficProfile,
     first_at = (run.started_at or 0) + run.schedule[0].at
     makespan = max(1, last_completion - first_at)
     arrival_span = max(1, run.schedule[-1].at - run.schedule[0].at)
-    kernel = system.kernels[1]  # the gateways' kernel did the routing
+    # The gateways' kernels did the routing; merge their counts (the
+    # default shape keeps every gateway in domain 1, so this is exactly
+    # the old single-kernel read).
+    route_counts: dict = {}
+    for kernel in system.kernels[1:]:
+        for replica, count in kernel.route_counts.items():
+            route_counts[replica] = route_counts.get(replica, 0) + count
     replica_requests = {
         server.service_name: server.requests_served
         for server in kv_servers
@@ -414,7 +436,7 @@ def run_profile(profile: TrafficProfile,
         gw_tx_retries=run.gw_tx_retries,
         kv_errors=run.kv_errors,
         served_by=list(run.served_by),
-        route_counts=dict(kernel.route_counts),
+        route_counts=route_counts,
         replica_requests=replica_requests,
         noc_packets_lost=system.platform.network.packets_lost,
         dtu_retransmits=sum(dtu.retransmits for dtu in dtus),

@@ -1,0 +1,187 @@
+"""Full-system sharding: determinism, boundary accounting, validation.
+
+``M3System(shards=n)`` must be byte-identical to the monolithic engine
+for every workload — that is the determinism contract the evals gate
+on — and the kernel-level stale-handle paths (ik retry timers firing,
+DTU wipes under reliable delivery) must leave ``pending_events``
+exactly balanced now that execution consumes handles.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.m3.lib.vpe import VPE
+from repro.m3.system import M3System
+from repro.workloads import traffic
+
+
+def _mini_profile(**overrides) -> traffic.TrafficProfile:
+    return traffic.TrafficProfile(
+        name="mini", seed=77, clients=24, requests=36, mean_gap=2_500,
+        drain_cycles=200_000, **overrides,
+    )
+
+
+def _fingerprint(result: traffic.TrafficResult) -> tuple:
+    """Everything the eval report is a function of, hashable."""
+    return (
+        result.sent, result.completed, result.makespan,
+        tuple(sorted(result.latencies.items())),
+        result.tx_retries, result.gw_tx_retries,
+        tuple(result.served_by),
+        tuple(sorted(result.route_counts.items())),
+        tuple(sorted(result.replica_requests.items())),
+        result.noc_packets_lost, result.dtu_retransmits,
+    )
+
+
+def test_traffic_identical_across_shard_counts():
+    baseline = _fingerprint(traffic.run_profile(_mini_profile()))
+    sharded = _fingerprint(traffic.run_profile(_mini_profile(), shards=2))
+    assert sharded == baseline
+
+
+def test_traffic_double_run_is_deterministic_at_shards_2():
+    first = _fingerprint(traffic.run_profile(_mini_profile(), shards=2))
+    second = _fingerprint(traffic.run_profile(_mini_profile(), shards=2))
+    assert first == second
+
+
+def test_four_domain_variant_identical_at_1_2_4_shards():
+    fingerprints = {
+        shards: _fingerprint(traffic.run_profile(
+            _mini_profile(), shards=shards,
+            pe_count=24, kernel_count=4, gateways=3, ep_count=12,
+        ))
+        for shards in (1, 2, 4)
+    }
+    assert fingerprints[1] == fingerprints[2] == fingerprints[4]
+
+
+def test_fig6_multikernel_point_identical_across_shards():
+    from repro.eval.fig6_multikernel import average_instance_time
+
+    averages = {
+        shards: average_instance_time("find", 4, shards=shards)
+        for shards in (1, 2, 4)
+    }
+    assert averages[1] == averages[2] == averages[4]
+
+
+def test_cross_shard_traffic_is_counted():
+    """A client in domain 1 opening domain 0's service crosses the
+    shard boundary; the facade's egress accounting must see it."""
+    system = M3System(pe_count=8, kernel_count=2, shards=2).boot()
+    assert system.platform.network.shards is system.sim
+    assert system.sim.cross_packets == 0  # boot stays inside domains
+
+    def app(env):
+        from repro.m3.lib.m3fs_client import M3fsClient
+
+        client = yield from M3fsClient.connect(env, service="m3fs")
+        env.vfs.mount("/", client)
+        yield from env.vfs.stat("/")
+        return 0
+
+    vpe = system.spawn(app, name="remote-client", domain=1)
+    assert system.wait(vpe) == 0
+    assert system.sim.cross_packets > 0
+    assert system.sim.cross_bytes > 0
+
+
+def test_sharded_quantum_comes_from_noc_hop_latency():
+    system = M3System(pe_count=8, kernel_count=2, shards=2)
+    plan = system.platform.shard_plan
+    assert plan.quantum == system.platform.config.noc_hop_cycles
+    boundary = plan.boundary_links(system.platform.topology)
+    assert boundary
+
+
+def test_shards_require_matching_kernel_domains():
+    with pytest.raises(ValueError, match="cannot split"):
+        M3System(pe_count=8, kernel_count=1, shards=2)
+
+
+def test_shards_reject_prebuilt_platform():
+    from repro.hw import Platform
+
+    with pytest.raises(ValueError, match="build the platform"):
+        M3System(platform=Platform.build(8), kernel_count=2, shards=2)
+
+
+def test_shards_reject_nonpositive():
+    with pytest.raises(ValueError, match="at least one shard"):
+        M3System(pe_count=8, shards=0)
+
+
+def test_shards_one_uses_the_monolithic_engine():
+    from repro.sim import Simulator
+
+    system = M3System(pe_count=8, shards=1)
+    assert type(system.sim) is Simulator
+    assert system.platform.network.shards is None
+
+
+# -- kernel/DTU stale-handle accounting (the bugfix sweep's live site) --------
+
+
+def test_ik_retry_timers_leave_pending_events_exact():
+    """Every ik retry fires ``_ik_timer_fired`` *from its own timer*,
+    which then cancels that just-executed handle — the exact stale
+    cancel the engine fix makes a no-op.  Pre-fix, ``pending_events``
+    went one negative per retry; it must drain to exactly zero."""
+    system = M3System(pe_count=4, kernel_count=2, reliable=True)
+    k0, _k1 = system.kernels
+    FaultPlan(seed=3).delay(
+        1.0, cycles=(3_000, 3_000), kinds=("reply",), destination=k0.node
+    ).install(system.platform)
+    system.boot(with_fs=False)
+
+    def child(env, x):
+        yield env.sim.delay(100)
+        return x * 2
+
+    def parent(env):
+        vpe = yield from VPE.create(env, name="spilled")
+        yield from vpe.run(child, 21)
+        return (yield from vpe.wait())
+
+    vpe = system.spawn(parent, name="parent", domain=0)
+    assert system.wait(vpe) == 42
+    assert k0.ik_retries >= 1  # the stale-cancel path actually ran
+    system.sim.run()  # drain remaining retry timers
+    assert system.sim.pending_events == 0
+
+
+def test_dtu_wipe_leaves_pending_events_exact():
+    """A kernel-driven DTU wipe clears ``_retx`` under live retransmit
+    timers; the orphaned timers fire as no-ops and the books balance
+    to zero."""
+    from repro import params
+
+    system = M3System(pe_count=4, reliable=True)
+    system.boot(with_fs=False)
+
+    def app(env):
+        yield env.sim.delay(10)
+        try:
+            yield from env.syscall("noop")
+        except Exception:
+            pass
+        return 0
+
+    vpe = system.spawn(app, name="doomed")
+    # Boot is clean; now drop every message leaving node 1 so the
+    # syscall's transfer arms a retransmit timer that never gets acked.
+    FaultPlan(seed=5).drop(
+        1.0, source=1, kinds=("message",)
+    ).install(system.platform)
+    dtu = system.platform.pe(1).dtu
+    # Let the transfer get in flight, then wipe the DTU while its
+    # retransmit timer is pending.
+    system.sim.run(until=system.sim.now + 2 * params.DTU_RETX_TIMEOUT_CYCLES)
+    assert dtu._retx  # a retransmit timer is live
+    dtu._apply_config("wipe", ())
+    assert not dtu._retx
+    system.sim.run()
+    assert system.sim.pending_events == 0
