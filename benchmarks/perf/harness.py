@@ -199,6 +199,26 @@ def measure_traffic_shards() -> dict:
     return timings
 
 
+def measure_autoscale_boot() -> dict:
+    """The warm-vs-cold replica boot comparison, in *simulated* cycles.
+
+    Deterministic (sampled from the autoscaler's warm-boot study, not
+    wall clock): cycles for a checkpoint-seeded clone to serve fully
+    stocked, versus a cold boot plus the client-side refill of the
+    same keys.  Tracked in the baseline so a regression in the
+    checkpoint/migration path shows up as a shrinking delta.
+    """
+    from repro.eval import autoscale
+
+    boot = autoscale.boot_comparison()
+    return {
+        "keys": boot["keys"],
+        "warm_cycles": boot["warm_cycles"],
+        "cold_stocked_cycles": boot["cold_stocked_cycles"],
+        "warm_vs_cold_delta_cycles": boot["delta_cycles"],
+    }
+
+
 def measure() -> dict:
     engine = measure_engine()
     engine_sharded = measure_engine_sharded()
@@ -210,6 +230,7 @@ def measure() -> dict:
         "engine_sharded_cycles_per_second": engine_sharded,
         "figures": figures,
         "traffic_shards_seconds": traffic_shards,
+        "autoscale_boot": measure_autoscale_boot(),
         "total_seconds": round(sum(figures.values()), 3),
     }
 
@@ -252,6 +273,14 @@ def report(current: dict, baseline: dict | None) -> str:
             f"shards={shards}: {seconds:.3f}s"
             for shards, seconds in per_shard.items()
         ))
+    boot = current.get("autoscale_boot")
+    if boot is not None:
+        lines.append(
+            f"autoscale boot ({boot['keys']} keys): warm "
+            f"{boot['warm_cycles']:,} vs cold+refill "
+            f"{boot['cold_stocked_cycles']:,} sim cycles "
+            f"(warm saves {boot['warm_vs_cold_delta_cycles']:,})"
+        )
     for name, seconds in sorted(current["figures"].items()):
         line = f"  {name:<20s} {seconds:7.3f}s"
         if baseline is not None and name in baseline.get("figures", {}):

@@ -33,6 +33,7 @@ import sys
 
 from repro.eval import (
     ablations,
+    autoscale,
     critical_path,
     domain_failover,
     fault_tolerance,
@@ -101,6 +102,11 @@ def _traffic(shards: int = 1) -> dict:
             traffic.bench_table(traffic.run(shards=shards)) + "\n"}
 
 
+def _autoscale(shards: int = 1) -> dict:
+    return {"autoscale.txt":
+            autoscale.bench_table(autoscale.run(shards=shards)) + "\n"}
+
+
 def _profile() -> dict:
     system = profile.run()
     trace = to_chrome_trace(system.sim.obs)
@@ -124,6 +130,7 @@ _FIGURES = {
     "profile": _profile,
     "critical_path": _critical_path,
     "traffic": _traffic,
+    "autoscale": _autoscale,
 }
 
 
@@ -140,6 +147,8 @@ def _execute(job: tuple, shards: int = 1):
     if kind == "figure":
         if job[1] == "traffic":
             return _traffic(shards=shards)
+        if job[1] == "autoscale":
+            return _autoscale(shards=shards)
         return _FIGURES[job[1]]()
     if kind == "ablation":
         sweep, table = ablations.BENCH_SWEEPS[job[1]]
@@ -183,7 +192,7 @@ def build_jobs(select: list[str] | None = None) -> list[tuple]:
                 jobs.append(("fig6mk-point", benchmark, kernel_count))
     # The traffic eval runs eight load points serially — heavy enough
     # to start early alongside the fig6 points.
-    for name in ("traffic", "fig5_apps", "fault_tolerance",
+    for name in ("traffic", "autoscale", "fig5_apps", "fault_tolerance",
                  "domain_failover"):
         if wanted(name):
             jobs.append(("figure", name))

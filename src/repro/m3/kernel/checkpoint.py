@@ -54,3 +54,70 @@ class VpeCheckpoint:
             f"{self.spm_bytes}B spm, {len(self.eps)} eps, "
             f"{len(self.caps)} caps @ {self.taken_at}>"
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class MigrationDescriptor:
+    """A checkpoint serialized for the ``ik_migrate_in`` RPC.
+
+    Everything the *target* kernel needs to re-materialize a VPE in its
+    own domain: the checkpoint image and endpoint registers, a
+    capability manifest rich enough to rebuild memory grants (regions
+    left behind in the source domain become foreign-flagged caps), and
+    the software context.  In a real system the software state lives in
+    the SPM image itself; the in-sim ``env`` object stands in for it,
+    the same way ``ik_vpe_start`` carries entry callables.
+    """
+
+    vpe_id: int
+    name: str
+    node: int
+    spm_image: bytes
+    alloc_mark: int
+    eps: tuple
+    #: ``(selector, kind value, detail)`` rows; ``detail`` is
+    #: ``(node, address, size, perm value, foreign)`` for memory caps
+    #: and ``None`` for everything else.
+    caps: tuple
+    taken_at: int
+    migrations: int
+    last_entry: object
+    env: object
+
+    @classmethod
+    def capture(cls, vpe, checkpoint: VpeCheckpoint,
+                env=None) -> "MigrationDescriptor":
+        """Wrap ``checkpoint`` plus ``vpe``'s capability manifest."""
+        from repro.m3.kernel.capability import CapKind
+
+        manifest = []
+        for cap in vpe.captable.caps():
+            if cap.table is None:
+                continue
+            if cap.kind == CapKind.MEM:
+                obj = cap.obj
+                detail = (obj.node, obj.address, obj.size, obj.perm.value,
+                          cap.foreign)
+            else:
+                detail = None
+            manifest.append((cap.selector, cap.kind.value, detail))
+        return cls(
+            vpe_id=vpe.id,
+            name=vpe.name,
+            node=checkpoint.node,
+            spm_image=checkpoint.spm_image,
+            alloc_mark=checkpoint.alloc_mark,
+            eps=checkpoint.eps,
+            caps=tuple(manifest),
+            taken_at=checkpoint.taken_at,
+            migrations=vpe.migrations,
+            last_entry=vpe.last_entry,
+            env=env,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MigrationDescriptor vpe={self.vpe_id} node={self.node} "
+            f"{len(self.spm_image)}B spm, {len(self.eps)} eps, "
+            f"{len(self.caps)} caps @ {self.taken_at}>"
+        )

@@ -114,6 +114,17 @@ class Kernel:
         self._route_cursor: dict[str, int] = {}
         #: requests dispatched per replica by this kernel's router.
         self.route_counts: dict[str, int] = {}
+        #: per-route balancing policy: ``"rr"`` (default) or ``"depth"``
+        #: (least-loaded by queue depth, round-robin tiebreak).
+        self._route_policy: dict[str, str] = {}
+        #: replica name -> ``(stamp cycle, depth)`` learned from the
+        #: depth piggyback on inter-kernel traffic (newest stamp wins).
+        self.replica_depths: dict[str, tuple] = {}
+        #: attach depth riders to outgoing inter-kernel requests.  Off
+        #: until some route asks for ``policy="depth"``: with every
+        #: route on round-robin the wire payloads stay byte-identical
+        #: to the pre-elastic protocol.
+        self._gossip_depths = False
         #: DRAM allocator (`dram_reserve` bytes at the bottom stay free
         #: for platform-level uses); a partitioned kernel manages only
         #: its own shard ``[dram_base, dram_base + dram_bytes)``.
@@ -194,6 +205,13 @@ class Kernel:
         self.probes_sent = 0
         self.recoveries = 0
         self.migrations = 0
+        #: cross-domain migration bookkeeping: local VPE id -> (new
+        #: owner kernel id, id over there) for VPEs this kernel pushed
+        #: out.  Stale inter-kernel requests naming the old id are
+        #: forwarded to the new owner (the proxy swaps direction).
+        self._migrated_out: dict[int, tuple] = {}
+        self.migrations_out = 0
+        self.migrations_in = 0
 
     # ------------------------------------------------------------------
     # Boot
@@ -776,10 +794,13 @@ class Kernel:
         self.start_software(vpe, entry, args)
         return True
 
-    def _sys_migrate_vpe(self, vpe, slot, vpe_sel):
-        """Live-migrate a running, resident child VPE to a free PE in
-        this domain (checkpoint + restore + DTU redirect window);
-        returns the node it now runs on."""
+    def _sys_migrate_vpe(self, vpe, slot, vpe_sel, target_domain=None):
+        """Live-migrate a running, resident child VPE (checkpoint +
+        restore + DTU redirect window); returns the node it now runs
+        on.  With ``target_domain`` naming a peer kernel, the
+        checkpoint instead serializes over the idempotent inter-kernel
+        RPC (``ik_migrate_in``) and the child re-materializes in that
+        domain, leaving a :class:`RemoteVpeObject` proxy behind."""
         child = vpe.captable.get(vpe_sel, CapKind.VPE).obj
         if isinstance(child, RemoteVpeObject):
             raise SyscallError("cannot live-migrate a remote VPE")
@@ -788,13 +809,155 @@ class Kernel:
                 f"VPE {child.name!r} is not resident and running; use "
                 "vpe_migrate for suspended or queued VPEs"
             )
+        if target_domain is not None and target_domain != self.kernel_id:
+            self._migrate_out(
+                target_domain, child,
+                (yield from self._migration_descriptor(child)),
+                lambda payload: self._reply(vpe, slot, payload),
+            )
+            return NO_REPLY
         target = self.platform.find_free_pe(nodes=self.domain)
         if target is None or target.node == self.node:
             raise SyscallError("no free PE to migrate to")
         target.reserve()
-        checkpoint = yield from self.checkpoint_vpe(child)
-        yield from self.restore_vpe(checkpoint, target, child)
+        completed = False
+        try:
+            checkpoint = yield from self.checkpoint_vpe(child)
+            if not child.resident or child.state != VpeState.RUNNING:
+                raise SyscallError(
+                    f"VPE {child.name!r} died during checkpoint"
+                )
+            yield from self.restore_vpe(checkpoint, target, child)
+            completed = True
+        finally:
+            # A mid-migration failure (fault plan killing the source,
+            # the child exiting under the checkpoint) must not strand
+            # the target PE reserved forever.  Once restore_vpe ran,
+            # the target is the child's live PE — leave it alone.
+            if not completed and target.reserved and target.occupant is None:
+                target.release()
         return target.node
+
+    # -- cross-domain live migration (elastic scaling) -------------------
+
+    def _migration_descriptor(self, child: VpeObject):
+        """Generator: checkpoint ``child`` and wrap the snapshot in a
+        :class:`MigrationDescriptor` ready to ride ``ik_migrate_in``."""
+        from repro.m3.kernel.checkpoint import MigrationDescriptor
+
+        checkpoint = yield from self.checkpoint_vpe(child)
+        return MigrationDescriptor.capture(
+            child, checkpoint, self.envs.get(child.id)
+        )
+
+    def _migrate_out(self, peer: int, child: VpeObject, descriptor,
+                     completion) -> None:
+        """Ship a descriptor to ``peer`` over the idempotent RPC;
+        ``completion`` runs with ``("ok", (new_id, new_node))`` or an
+        error payload after source-side bookkeeping finished."""
+        if peer not in self.peers:
+            self.sim.call_soon(lambda _: completion(
+                ("err", f"no peer kernel domain {peer}")
+            ))
+            return
+        self._ik_request(
+            peer, "migrate_in", (descriptor,),
+            lambda payload: completion(
+                self._complete_migrate_out(child, peer, payload)
+            ),
+        )
+
+    def _complete_migrate_out(self, child: VpeObject, peer: int, payload):
+        """Source-side hand-off once the target kernel answered an
+        ``ik_migrate_in``: drop ownership, leave a proxy pointing the
+        other way, and forward parked waits to the new owner."""
+        if payload[0] != "ok":
+            return payload
+        new_id, new_node = payload[1]
+        old_id = child.id
+        self.vpes.pop(old_id, None)
+        self.envs.pop(old_id, None)
+        if self.ctxsw.resident.get(child.node) is child:
+            self.ctxsw.resident[child.node] = None
+        self._migrated_out[old_id] = (peer, new_id)
+        self.migrations_out += 1
+        proxy = RemoteVpeObject(remote_id=new_id, kernel_id=peer,
+                                name=child.name, node=new_node)
+        proxy.state = VpeState.RUNNING
+        # Every local VPE capability naming the child now names the
+        # proxy: the relationship swapped direction — the VPE used to
+        # be ours, now we hold it remotely.
+        for owner_id in sorted(self.vpes):
+            for cap in self.vpes[owner_id].captable.caps():
+                if (cap.table is not None and cap.kind == CapKind.VPE
+                        and cap.obj is child):
+                    cap.obj = proxy
+        # Parked local waits follow the VPE as cross-domain waits; the
+        # proxy's cached state tracks the forwarded verdict exactly
+        # like _sys_vpe_wait's remote branch.
+        for waiter_vpe, wait_slot in child.waiters:
+            self._forward_wait(
+                peer, new_id, proxy,
+                lambda p, w=waiter_vpe, s=wait_slot: self._reply(w, s, p),
+            )
+        child.waiters = []
+        # Waits parked here on behalf of third domains are re-parked at
+        # the new owner; the eventual verdict passes straight through.
+        for ik_slot in child.remote_waiters:
+            self._ik_request(
+                peer, "vpe_wait", (new_id,),
+                lambda p, s=ik_slot: self._ik_reply(s, p),
+                no_timeout=True,
+            )
+        child.remote_waiters = []
+        if self.sim.obs is not None:
+            self.sim.obs.count("kernel.migrations_out")
+            self.sim.obs.instant("migrate_out", "migrate", child.node,
+                                 vpe=old_id, peer=peer, target=new_node)
+        self.sim.ledger.mark(
+            self.sim.now, Tag.OS,
+            f"{self.label} migrates VPE #{old_id} ({child.name}) out to "
+            f"kernel {peer} node {new_node}",
+        )
+        return ("ok", (new_id, new_node))
+
+    def _forward_wait(self, peer: int, remote_id: int, proxy, reply) -> None:
+        """Re-issue a parked VPE_WAIT against the VPE's new owner,
+        keeping the proxy's cached state in sync with the verdict."""
+
+        def completion(payload):
+            proxy.state = VpeState.DEAD
+            if payload[0] == "ok":
+                proxy.exit_code = payload[1]
+            else:
+                proxy.exit_code = ("failed", payload[1])
+                self._revoke_foreign_for_node(proxy.node)
+            reply(payload)
+
+        self._ik_request(peer, "vpe_wait", (remote_id,), completion,
+                         no_timeout=True)
+
+    def migrate_vpe_cross(self, child: VpeObject, peer: int):
+        """Generator (control-plane processes only — never the kernel
+        loop): live-migrate ``child`` into peer domain ``peer`` and
+        return ``(new_id, new_node)``.  The autoscaler and tests drive
+        cross-domain migration through this entry point."""
+        if peer == self.kernel_id or peer not in self.peers:
+            raise SyscallError(f"no peer kernel domain {peer}")
+        if isinstance(child, RemoteVpeObject):
+            raise SyscallError("cannot live-migrate a remote VPE")
+        if not child.resident or child.state != VpeState.RUNNING:
+            raise SyscallError(
+                f"VPE {child.name!r} is not resident and running"
+            )
+        descriptor = yield from self._migration_descriptor(child)
+        done = self.sim.event(f"{self.label}.migrate-out.v{child.id}")
+        self._migrate_out(peer, child, descriptor,
+                          lambda payload: done.succeed(payload))
+        payload = yield done
+        if payload[0] != "ok":
+            raise SyscallError(payload[1])
+        return payload[1]
 
     # ------------------------------------------------------------------
     # The dispatch loop
@@ -1258,7 +1421,8 @@ class Kernel:
 
     # -- the session router (replicated service tiers) -------------------
 
-    def register_route(self, name: str, replicas) -> None:
+    def register_route(self, name: str, replicas,
+                       policy: str = "rr") -> None:
         """Route ``open_session(name)`` across service replicas.
 
         ``replicas`` is an ordered sequence of ``(service_name,
@@ -1266,9 +1430,18 @@ class Kernel:
         service and the kernel domains hosting them.  Every kernel in
         the system registers the same route (see
         :meth:`M3System.register_service_route`), so each balances its
-        own clients round-robin; remote replicas are reached through
-        the existing inter-kernel ``srv_open`` path.
+        own clients; remote replicas are reached through the existing
+        inter-kernel ``srv_open`` path.
+
+        ``policy`` selects the balancing strategy: ``"rr"`` (classic
+        round-robin, the default) or ``"depth"`` (least queue depth
+        with round-robin tiebreak, fed by the depth piggyback on
+        inter-kernel traffic).  Re-registering an existing route —
+        the autoscaler growing or shrinking the replica set — keeps
+        the cursor, so surviving replicas keep their rotation slot.
         """
+        if policy not in ("rr", "depth"):
+            raise ValueError(f"unknown route policy {policy!r}")
         replicas = tuple(replicas)
         if not replicas:
             raise ValueError(f"route {name!r} needs at least one replica")
@@ -1281,25 +1454,112 @@ class Kernel:
                 raise ValueError(f"route {name!r}: unknown domain {owner}")
         self.service_routes[name] = replicas
         self._route_cursor.setdefault(name, 0)
+        self._route_policy[name] = policy
+        if policy == "depth":
+            self._gossip_depths = True
 
     def _resolve_route(self, name: str) -> str:
-        """Logical name -> next live replica (round-robin); a name with
-        no route resolves to itself."""
+        """Logical name -> next live replica; a name with no route
+        resolves to itself.
+
+        ``"rr"`` routes rotate a cursor over the live replicas;
+        ``"depth"`` routes pick the smallest known queue depth among
+        them, breaking ties in cursor order (so equal-depth replicas
+        still rotate).  When every replica's domain is dead the router
+        fails fast with a deterministic error instead of handing a
+        stale name to the remote-session probe.
+        """
         replicas = self.service_routes.get(name)
         if not replicas:
             return name
         cursor = self._route_cursor[name]
-        for offset in range(len(replicas)):
-            replica, owner = replicas[(cursor + offset) % len(replicas)]
-            if owner == self.kernel_id or owner not in self.dead_peers:
+        if self._route_policy.get(name) == "depth":
+            best = None
+            best_offset = None
+            for offset in range(len(replicas)):
+                replica, owner = replicas[(cursor + offset) % len(replicas)]
+                if owner != self.kernel_id and owner in self.dead_peers:
+                    continue
+                depth = self._routed_depth(replica, owner)
+                if best is None or depth < best[1]:
+                    best = (replica, depth)
+                    best_offset = offset
+            if best is not None:
                 self._route_cursor[name] = \
-                    (cursor + offset + 1) % len(replicas)
-                self.route_counts[replica] = \
-                    self.route_counts.get(replica, 0) + 1
-                return replica
-        # Every replica domain is dead: fall through with the cursor's
-        # pick so the client gets an ordinary "no service" error.
-        return replicas[cursor % len(replicas)][0]
+                    (cursor + best_offset + 1) % len(replicas)
+                self.route_counts[best[0]] = \
+                    self.route_counts.get(best[0], 0) + 1
+                return best[0]
+        else:
+            for offset in range(len(replicas)):
+                replica, owner = replicas[(cursor + offset) % len(replicas)]
+                if owner == self.kernel_id or owner not in self.dead_peers:
+                    self._route_cursor[name] = \
+                        (cursor + offset + 1) % len(replicas)
+                    self.route_counts[replica] = \
+                        self.route_counts.get(replica, 0) + 1
+                    return replica
+        # Every replica domain is dead.  Fail fast and deterministically
+        # — the cursor and route_counts stay untouched, so accounting
+        # still matches the sessions actually dispatched, and no stale
+        # replica name is handed to the remote-session probe toward a
+        # domain failover already declared dead.
+        raise SyscallError(f"no live replica for route {name!r}")
+
+    # -- queue-depth telemetry (piggybacked on inter-kernel traffic) -----
+
+    def _local_depth(self, replica: str) -> int:
+        """Queue depth of a locally-owned replica: unserved messages in
+        its service inbox (the receive ring the kernel configured for
+        it) plus session negotiations still in flight toward it."""
+        service = self.services.get(replica)
+        if service is None:
+            return 0
+        rgate = service.rgate
+        ring = self.platform.pe(rgate.node).dtu._ringbufs.get(rgate.ep_index)
+        depth = ring.occupied if ring is not None else 0
+        for pending in self._pending_sessions.values():
+            if service in pending:
+                depth += 1
+        return depth
+
+    def _routed_depth(self, replica: str, owner: int) -> int:
+        """Best known queue depth of a routed replica: measured directly
+        when this kernel owns it, else the freshest gossiped value (a
+        replica never heard about counts as idle)."""
+        if owner == self.kernel_id:
+            return self._local_depth(replica)
+        known = self.replica_depths.get(replica)
+        return known[1] if known is not None else 0
+
+    def _ik_rider(self):
+        """The depth piggyback for an outgoing inter-kernel message:
+        fresh samples for locally-owned routed replicas merged over the
+        newest relayed knowledge, as sorted ``(name, stamp, depth)``
+        rows.  ``None`` (the common case) keeps the wire payload
+        byte-identical to the pre-elastic two-tuple."""
+        if not self._gossip_depths:
+            return None
+        view = dict(self.replica_depths)
+        for replicas in self.service_routes.values():
+            for replica, owner in replicas:
+                if owner == self.kernel_id and replica in self.services:
+                    view[replica] = (self.sim.now, self._local_depth(replica))
+        if not view:
+            return None
+        return tuple(sorted(
+            (name, stamp, depth) for name, (stamp, depth) in view.items()
+        ))
+
+    def _absorb_rider(self, rider) -> None:
+        """Merge a peer's depth piggyback; newest stamp per replica
+        wins, so relayed third-party knowledge cannot roll back a
+        fresher direct sample."""
+        self._gossip_depths = True
+        for name, stamp, depth in rider:
+            known = self.replica_depths.get(name)
+            if known is None or stamp > known[0]:
+                self.replica_depths[name] = (stamp, depth)
 
     def _sys_open_session(self, vpe, slot, name):
         name = self._resolve_route(name)
@@ -1533,9 +1793,11 @@ class Kernel:
         if self.sim.obs is not None:
             self.sim.obs.count(f"kernel{self.kernel_id}.ik_requests")
         self.sim.ledger.charge(Tag.OS, params.M3_KERNEL_REPLY_CYCLES)
+        rider = self._ik_rider()
         done = self.dtu.send(
             self.peers[peer],
-            (operation, args),
+            (operation, args) if rider is None
+            else (operation, args, rider),
             IK_MSG_BYTES,
             reply_ep=KERNEL_REPLY_EP,
             reply_label=negotiation,
@@ -1621,10 +1883,12 @@ class Kernel:
                 ))
             return
         self.sim.ledger.charge(Tag.OS, params.M3_KERNEL_REPLY_CYCLES)
+        rider = self._ik_rider()
         try:
             done = self.dtu.send(
                 self.peers[peer],
-                (entry["operation"], entry["args"]),
+                (entry["operation"], entry["args"]) if rider is None
+                else (entry["operation"], entry["args"], rider),
                 IK_MSG_BYTES,
                 reply_ep=KERNEL_REPLY_EP,
                 reply_label=negotiation,
@@ -1670,6 +1934,14 @@ class Kernel:
         # answered is re-answered from the reply cache; a copy of one we
         # are still serving (or have parked) is acked and dropped — the
         # original slot will produce the one reply.
+        # The depth rider (if any) is absorbed before the dedup check:
+        # duplicates carry fresh telemetry even when their operation is
+        # dropped, and gossip must not depend on execution.
+        if len(message.payload) == 3:
+            operation, args, rider = message.payload
+            self._absorb_rider(rider)
+        else:
+            operation, args = message.payload
         key = (message.label, message.header.reply_label)
         if key in self._ik_replied:
             self.ik_duplicates += 1
@@ -1686,7 +1958,6 @@ class Kernel:
         self._ik_inflight[key] = slot
         self.ik_requests_served += 1
         obs = self.sim.obs
-        operation, args = message.payload
         span = -1
         if obs is not None:
             obs.count(f"kernel{self.kernel_id}.ik_served")
@@ -1780,6 +2051,9 @@ class Kernel:
     def _ik_vpe_start(self, slot, sender, vpe_id, entry, args):
         vpe = self.vpes.get(vpe_id)
         if vpe is None:
+            if self._forward_migrated(vpe_id, slot, "vpe_start",
+                                      (entry, tuple(args))):
+                return NO_REPLY
             raise SyscallError(f"no VPE {vpe_id} in this domain")
         self.start_vpe(vpe, entry, tuple(args))
         return ()
@@ -1791,6 +2065,8 @@ class Kernel:
         notification."""
         vpe = self.vpes.get(vpe_id)
         if vpe is None:
+            if self._forward_migrated(vpe_id, slot, "vpe_wait", ()):
+                return NO_REPLY
             raise SyscallError(f"no VPE {vpe_id} in this domain")
         if vpe.state == VpeState.DEAD:
             return vpe.exit_code
@@ -1802,7 +2078,11 @@ class Kernel:
         """Best-effort kill of a spilled VPE whose capability was
         revoked in the owning domain."""
         vpe = self.vpes.get(vpe_id)
-        if vpe is None or vpe.state == VpeState.DEAD:
+        if vpe is None:
+            if self._forward_migrated(vpe_id, slot, "vpe_revoke", ()):
+                return NO_REPLY
+            return ()
+        if vpe.state == VpeState.DEAD:
             return ()
         occupant = vpe.pe.occupant
         if occupant is not None and occupant.alive:
@@ -1810,6 +2090,119 @@ class Kernel:
         self.vpe_exited(vpe, None)
         return ()
         yield  # pragma: no cover
+
+    def _forward_migrated(self, vpe_id: int, slot: int, operation: str,
+                          args: tuple) -> bool:
+        """Forward a peer request naming a VPE this kernel migrated out
+        to its new owner; the eventual verdict passes straight through
+        to the original asker.  Returns whether it was forwarded."""
+        forwarded = self._migrated_out.get(vpe_id)
+        if forwarded is None:
+            return False
+        peer, new_id = forwarded
+        self._ik_request(
+            peer, operation, (new_id,) + tuple(args),
+            lambda payload, s=slot: self._ik_reply(s, payload),
+            no_timeout=(operation == "vpe_wait"),
+        )
+        return True
+
+    def _ik_migrate_in(self, slot, sender, descriptor):
+        """Host a VPE live-migrating in from a peer kernel's domain.
+
+        The descriptor re-materializes on a free local PE: the SPM
+        image and endpoint registers restore through the ordinary
+        :meth:`restore_vpe` path (whose DTU redirect window now spans
+        domains — the source DTU forwards in-flight traffic across the
+        boundary until the window closes), the capability manifest
+        rebuilds memory grants that stayed behind as foreign-flagged
+        caps, and the syscall endpoint is rewired to *this* kernel with
+        a locally-minted unforgeable id.  Duplicate deliveries (a
+        retried RPC after a dropped reply) are absorbed by the
+        inflight/reply-cache dedup before this handler runs, so the
+        restore executes exactly once.
+        """
+        from repro.m3.kernel.checkpoint import VpeCheckpoint
+
+        target = self.platform.find_free_pe(nodes=self.domain)
+        if target is None or target.node == self.node:
+            raise SyscallError(
+                f"no free PE in kernel domain {self.kernel_id} to host a "
+                f"migrating VPE"
+            )
+        source_pe = self.platform.pe(descriptor.node)
+        vpe = VpeObject(descriptor.name, source_pe, next(self._vpe_ids))
+        vpe.kernel = self
+        vpe.state = VpeState.RUNNING
+        vpe.migrations = descriptor.migrations
+        vpe.last_entry = descriptor.last_entry
+        self.vpes[vpe.id] = vpe
+        for selector, kind_value, detail in descriptor.caps:
+            kind = CapKind(kind_value)
+            if kind == CapKind.VPE and detail is None:
+                vpe.captable.insert(Capability(CapKind.VPE, vpe), selector)
+            elif kind == CapKind.MEM and detail is not None:
+                node, address, size, perm_value, was_foreign = detail
+                if (node == descriptor.node and address == 0
+                        and not was_foreign):
+                    # The VPE's own SPM grant follows it to the new PE.
+                    cap = Capability(CapKind.MEM, MemObject(
+                        target.node, 0, size, MemoryPerm(perm_value)
+                    ))
+                else:
+                    # Memory in (or delegated through) another domain:
+                    # still reachable over the NoC, but never owned
+                    # here — teardown must not free it locally.
+                    cap = Capability(CapKind.MEM, MemObject(
+                        node, address, size, MemoryPerm(perm_value)
+                    ))
+                    cap.foreign = True
+                vpe.captable.insert(cap, selector)
+            # Session/gate capabilities do not survive the crossing:
+            # their kernel-side state lives with the source domain
+            # (documented limitation — services reconnect after moving).
+        env = descriptor.env
+        if env is not None:
+            env.vpe_id = vpe.id
+            self.envs[vpe.id] = env
+        checkpoint = VpeCheckpoint(
+            vpe_id=descriptor.vpe_id,
+            name=descriptor.name,
+            node=descriptor.node,
+            spm_image=descriptor.spm_image,
+            alloc_mark=descriptor.alloc_mark,
+            eps=descriptor.eps,
+            caps=tuple(
+                (selector, kind_value)
+                for selector, kind_value, _detail in descriptor.caps
+            ),
+            taken_at=descriptor.taken_at,
+        )
+        yield from self.restore_vpe(checkpoint, target, vpe)
+        if self.ctxsw.resident.get(target.node) is None:
+            self.ctxsw.adopt(vpe)
+        # The syscall channel now belongs to this kernel: same endpoint
+        # index (client-side bindings stay valid), new target node, and
+        # the id minted here — unforgeable, exactly like at boot.
+        yield from self.dtu.configure_remote(
+            target.node,
+            "configure",
+            APP_SYSCALL_EP,
+            EndpointRegisters.send_config(
+                target_node=self.node,
+                target_ep=KERNEL_SYSCALL_EP,
+                label=vpe.id,
+                credits=2,
+                msg_size=SYSCALL_MSG_BYTES + HEADER_BYTES,
+            ),
+        )
+        self.migrations_in += 1
+        if self.sim.obs is not None:
+            self.sim.obs.count("kernel.migrations_in")
+            self.sim.obs.instant("migrate_in", "migrate", target.node,
+                                 vpe=vpe.id, peer=sender,
+                                 source=descriptor.node)
+        return (vpe.id, target.node)
 
     def _ik_heartbeat(self, slot, sender, peer_id):
         """Liveness probe from the ring predecessor.  Serving the

@@ -111,13 +111,27 @@ class VPE:
         """Generator: block until the VPE exits; returns its exit code."""
         return (yield from self.env.syscall(syscalls.VPE_WAIT, self.selector))
 
-    def migrate(self):
-        """Generator: live-migrate this (running) VPE to a free PE in
-        the kernel's domain; returns the node it runs on afterwards.
+    def migrate(self, domain: int | None = None):
+        """Generator: live-migrate this (running) VPE to a free PE.
         The target keeps executing across the move — its SPM image,
-        endpoint registers, and unread messages travel with it."""
+        endpoint registers, and unread messages travel with it.
+
+        With ``domain=None`` the VPE moves within the kernel's own
+        domain and the syscall returns the node it runs on afterwards.
+        Naming a peer kernel ``domain`` migrates it across the domain
+        boundary (the checkpoint rides the inter-kernel RPC) and the
+        syscall returns ``(remote_id, node)``; the caller's capability
+        then holds the VPE through a remote proxy."""
+        if domain is None:
+            return (
+                yield from self.env.syscall(
+                    syscalls.MIGRATE_VPE, self.selector
+                )
+            )
         return (
-            yield from self.env.syscall(syscalls.MIGRATE_VPE, self.selector)
+            yield from self.env.syscall(
+                syscalls.MIGRATE_VPE, self.selector, domain
+            )
         )
 
     def wait_yield(self):

@@ -55,11 +55,26 @@ class _KvSession:
 class KvServ:
     """One replica: the store plus the service message loop."""
 
-    def __init__(self, service_name: str = "kv"):
+    def __init__(self, service_name: str = "kv",
+                 op_cycles: int | None = None):
         self.service_name = service_name
+        #: per-operation service cycles.  The default is the plain
+        #: store cost; compute-heavy tiers (scoring, rendering — the
+        #: elastic-scaling eval) raise it to model real per-request
+        #: work on the replica's PE.
+        self.op_cycles = (
+            params.KV_SERVER_CYCLES if op_cycles is None else op_cycles
+        )
         self.ready = None  # an Event, attached before spawn
         self.env = None
         self.vpe = None
+        #: warm-boot staging (the autoscaler's clone path): with
+        #: ``staged`` set, :meth:`main` announces itself on it and then
+        #: parks on ``hold`` *before* creating its receive gate — so
+        #: the clone can be cross-domain-migrated first and register
+        #: its service with the kernel it will actually live under.
+        self.staged = None
+        self.hold = None
         #: the object store.  A plain dict: iteration order is
         #: insertion order, so reports stay deterministic.
         self.store: dict[str, bytes] = {}
@@ -78,6 +93,12 @@ class KvServ:
     def main(self, env):
         """Generator: runs as the kvserv VPE."""
         self.env = env
+        if self.staged is not None:
+            # Warm-boot staging: park before touching any kernel state
+            # beyond the syscall channel.  The hold event survives a
+            # live migration (env.pe/env.dtu are repointed under us).
+            self.staged.succeed(self)
+            yield self.hold
         rgate = yield from RecvGate.create(
             env, slot_size=params.KV_MSG_BYTES + 16,
             slot_count=params.KV_RING_SLOTS,
@@ -100,7 +121,7 @@ class KvServ:
                 span = obs.begin(operation, "kv", env.pe.node,
                                  parent=header_context(message.header),
                                  service=self.service_name)
-            yield env.os_work(params.KV_SERVER_CYCLES)
+            yield env.os_work(self.op_cycles)
             self.requests_served += 1
             if message.label == 0:
                 # kernel<->service channel: session management.
@@ -223,14 +244,16 @@ class KvClient:
 
 
 def start_kv_tier(system: "M3System", replicas: int | None = None,
-                  name: str = "kv", domains: list | None = None):
+                  name: str = "kv", domains: list | None = None,
+                  policy: str = "rr", op_cycles: int | None = None):
     """Boot a replicated kv tier and install its session route.
 
     One replica per kernel domain by default (``replicas``/``domains``
     override the count and placement).  Replica ``i`` registers as
     ``{name}{i}`` in its domain; the logical ``name`` is then routed
-    round-robin across the live replicas by every kernel.  Returns the
-    :class:`KvServ` instances in replica order.
+    across the live replicas by every kernel — round-robin by default,
+    least-loaded with ``policy="depth"``.  Returns the :class:`KvServ`
+    instances in replica order.
     """
     if domains is None:
         count = replicas if replicas is not None else len(system.kernels)
@@ -238,7 +261,7 @@ def start_kv_tier(system: "M3System", replicas: int | None = None,
     servers = []
     route = []
     for index, domain in enumerate(domains):
-        server = KvServ(service_name=f"{name}{index}")
+        server = KvServ(service_name=f"{name}{index}", op_cycles=op_cycles)
         server.ready = system.sim.event(f"{name}{index}.ready")
         vpe = system.spawn(server.main, name=f"{name}{index}", domain=domain)
         system.sim.run(until_event=server.ready)
@@ -249,5 +272,5 @@ def start_kv_tier(system: "M3System", replicas: int | None = None,
         route.append((server.service_name, domain))
         if system.sim.obs is not None:
             system.sim.obs.label_node(vpe.node, f"service:{name}{index}")
-    system.register_service_route(name, route)
+    system.register_service_route(name, route, policy=policy)
     return servers

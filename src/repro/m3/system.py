@@ -251,21 +251,26 @@ class M3System:
             self.sim.obs.label_node(vpe.node, f"service:{name}")
         return server
 
-    def register_service_route(self, name: str, replicas) -> None:
+    def register_service_route(self, name: str, replicas,
+                               policy: str = "rr") -> None:
         """Install a session route on every kernel domain.
 
         ``replicas`` is an ordered sequence of ``(service_name,
         domain_id)`` pairs.  Afterwards ``open_session(name)`` is
-        load-balanced round-robin across the live replicas by each
-        client's own kernel; replicas in peer domains are reached over
-        the inter-kernel ``srv_open`` path (whose owner cache is
+        load-balanced across the live replicas by each client's own
+        kernel — round-robin by default, or least-loaded by queue
+        depth with ``policy="depth"`` (fed by the depth piggyback on
+        inter-kernel traffic).  Replicas in peer domains are reached
+        over the inter-kernel ``srv_open`` path (whose owner cache is
         pre-seeded here, so the first remote open skips the probe
         walk).  Failover keeps routes correct automatically: dead
         domains are skipped and their cache entries purged.
+        Re-registering an existing name replaces the replica set on
+        every kernel — how the autoscaler grows and shrinks the tier.
         """
         replicas = tuple(replicas)
         for kernel in self.kernels:
-            kernel.register_route(name, replicas)
+            kernel.register_route(name, replicas, policy=policy)
             for replica, domain in replicas:
                 if domain != kernel.kernel_id:
                     kernel._remote_services.setdefault(replica, domain)

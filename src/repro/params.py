@@ -377,6 +377,17 @@ KV_MSG_BYTES = 496
 KV_RING_SLOTS = 64
 
 # --------------------------------------------------------------------------
+# Elastic scaling (the kv-tier autoscaler)
+# --------------------------------------------------------------------------
+
+#: cycles between autoscaler epochs (sample telemetry, decide, act).
+AUTOSCALE_EPOCH_CYCLES = 40_000
+
+#: kernel software cost of one epoch's sampling and decision.
+AUTOSCALE_SAMPLE_CYCLES = 200
+
+
+# --------------------------------------------------------------------------
 # Platform shape used by the evaluation
 # --------------------------------------------------------------------------
 

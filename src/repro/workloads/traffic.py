@@ -98,6 +98,11 @@ class TrafficProfile:
     keys: int = 64
     #: how long the collector keeps polling after the last send.
     drain_cycles: int = 600_000
+    #: gateways close and re-open their kv session every N served
+    #: requests (0 = never).  Session churn is what lets a draining
+    #: replica actually empty out and what spreads an elastic tier's
+    #: load onto newly-added replicas.
+    session_refresh: int = 0
 
     def __post_init__(self):
         if self.arrival not in ("poisson", "bursty"):
@@ -106,6 +111,8 @@ class TrafficProfile:
             raise ValueError("key_id travels in one byte; keys must be <= 256")
         if self.size_floor < 1 or self.size_floor > MAX_VALUE_BYTES:
             raise ValueError(f"bad size_floor {self.size_floor}")
+        if self.session_refresh < 0:
+            raise ValueError(f"bad session_refresh {self.session_refresh}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -226,6 +233,8 @@ def gateway_app(env, run: TrafficRun, index: int, ready):
     for key_id in range(run.profile.keys):
         yield from kv.put(_key(key_id), _PAD * _warm_len(key_id))
     ready.succeed(index)
+    refresh = run.profile.session_refresh
+    served_since_refresh = 0
     while True:
         datagram = yield from net.recv()
         if datagram is None:
@@ -259,6 +268,14 @@ def gateway_app(env, run: TrafficRun, index: int, ready):
         run.served_by[index] += 1
         if obs is not None:
             obs.end(span, status=status)
+        if refresh:
+            served_since_refresh += 1
+            if served_since_refresh >= refresh:
+                # Session churn: re-resolve the route, so the gateway
+                # follows the tier as the autoscaler reshapes it.
+                served_since_refresh = 0
+                yield from kv.close()
+                kv = yield from KvClient.connect(env, "kv")
     yield from kv.close()
     yield from net.close()
     return run.served_by[index]
@@ -349,6 +366,9 @@ class TrafficResult:
     dtu_retransmits: int
     fault_events: int
     system: M3System
+    #: the AutoScaler instance when elastic scaling was on (its
+    #: ``events`` list is the scale timeline), else None.
+    scaler: object = None
 
     @property
     def drops(self) -> int:
@@ -361,6 +381,12 @@ def run_profile(profile: TrafficProfile,
                 pe_count: int = PE_COUNT,
                 kernel_count: int = KERNEL_COUNT,
                 gateways: int = GATEWAYS,
+                policy: str = "rr",
+                kv_replicas: int | None = None,
+                kv_domains: list | None = None,
+                kv_op_cycles: int | None = None,
+                heartbeats: bool = False,
+                autoscale: dict | None = None,
                 **system_kwargs) -> TrafficResult:
     """Boot the serving stack, drive one load point, measure it.
 
@@ -372,6 +398,17 @@ def run_profile(profile: TrafficProfile,
     exactly as before.  Extra keyword arguments reach ``M3System``
     (e.g. ``ep_count`` — a 4-domain kernel needs a bigger EP table for
     its peer send gates).
+
+    Elastic-scaling knobs (all off by default — the defaults are
+    byte-identical to the pre-elastic stack): ``policy`` selects the
+    session-router balancing policy (``"rr"``/``"depth"``);
+    ``kv_replicas``/``kv_domains`` shape the initial kv tier;
+    ``kv_op_cycles`` makes the replicas compute-heavy (per-op service
+    cycles, modelling a scoring/rendering tier);
+    ``heartbeats`` starts the kernel heartbeat ring (the carrier for
+    the queue-depth gossip); ``autoscale`` is a keyword dict for
+    :class:`repro.m3.autoscale.AutoScaler` (e.g. ``{"epoch": 40_000,
+    "up_depth": 8}``) that switches the controller on.
     """
     system = M3System(pe_count=pe_count, kernel_count=kernel_count,
                       reliable=True, observe=observe, shards=shards,
@@ -380,7 +417,17 @@ def run_profile(profile: TrafficProfile,
         fault_plan.install(system.platform)
     system.boot(with_fs=False)
     netservs = start_network(system)
-    kv_servers = start_kv_tier(system)
+    kv_servers = start_kv_tier(system, replicas=kv_replicas,
+                               domains=kv_domains, policy=policy,
+                               op_cycles=kv_op_cycles)
+    scaler = None
+    if heartbeats:
+        system.start_heartbeats()
+    if autoscale is not None:
+        from repro.m3.autoscale import AutoScaler
+
+        scaler = AutoScaler(system, kv_servers, **autoscale)
+        scaler.start()
     run = TrafficRun(profile, gateways=gateways)
     gw_vpes = []
     for index in range(gateways):
@@ -397,6 +444,10 @@ def run_profile(profile: TrafficProfile,
     completed = system.wait(collector_vpe)
     for vpe in gw_vpes:
         system.wait(vpe)
+    if scaler is not None:
+        scaler.stop()
+    if heartbeats:
+        system.stop_heartbeats()
     system.sim.run()  # drain retry timers and late frames
 
     histogram = Histogram("traffic.latency", precision=7)
@@ -421,6 +472,11 @@ def run_profile(profile: TrafficProfile,
         server.service_name: server.requests_served
         for server in kv_servers
     }
+    if scaler is not None:
+        # Replicas the autoscaler added (live or since retired).
+        for name in sorted(set(scaler.servers) | set(scaler.retired)):
+            server = scaler.servers.get(name) or scaler.retired[name]
+            replica_requests.setdefault(name, server.requests_served)
     dtus = [pe.dtu for pe in system.platform.pes]
     return TrafficResult(
         profile=profile,
@@ -442,4 +498,5 @@ def run_profile(profile: TrafficProfile,
         dtu_retransmits=sum(dtu.retransmits for dtu in dtus),
         fault_events=len(fault_plan.events) if fault_plan else 0,
         system=system,
+        scaler=scaler,
     )
