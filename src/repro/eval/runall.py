@@ -45,6 +45,7 @@ from repro.eval import (
     fig7_accel,
     profile,
     tab_arm,
+    telemetry,
     traffic,
 )
 from repro.obs import to_chrome_trace
@@ -107,6 +108,11 @@ def _autoscale(shards: int = 1) -> dict:
             autoscale.bench_table(autoscale.run(shards=shards)) + "\n"}
 
 
+def _telemetry(shards: int = 1) -> dict:
+    return {"telemetry.txt":
+            telemetry.bench_table(telemetry.run(shards=shards)) + "\n"}
+
+
 def _profile() -> dict:
     system = profile.run()
     trace = to_chrome_trace(system.sim.obs)
@@ -131,6 +137,7 @@ _FIGURES = {
     "critical_path": _critical_path,
     "traffic": _traffic,
     "autoscale": _autoscale,
+    "telemetry": _telemetry,
 }
 
 
@@ -149,6 +156,8 @@ def _execute(job: tuple, shards: int = 1):
             return _traffic(shards=shards)
         if job[1] == "autoscale":
             return _autoscale(shards=shards)
+        if job[1] == "telemetry":
+            return _telemetry(shards=shards)
         return _FIGURES[job[1]]()
     if kind == "ablation":
         sweep, table = ablations.BENCH_SWEEPS[job[1]]
@@ -192,8 +201,8 @@ def build_jobs(select: list[str] | None = None) -> list[tuple]:
                 jobs.append(("fig6mk-point", benchmark, kernel_count))
     # The traffic eval runs eight load points serially — heavy enough
     # to start early alongside the fig6 points.
-    for name in ("traffic", "autoscale", "fig5_apps", "fault_tolerance",
-                 "domain_failover"):
+    for name in ("traffic", "telemetry", "autoscale", "fig5_apps",
+                 "fault_tolerance", "domain_failover"):
         if wanted(name):
             jobs.append(("figure", name))
     for name in sorted(ablations.BENCH_SWEEPS):

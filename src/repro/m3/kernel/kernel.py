@@ -169,6 +169,11 @@ class Kernel:
         self.heartbeats_sent = 0
         #: ``(peer, detected_at, completed_at, reason)`` per failover.
         self.failover_log: list[tuple] = []
+        #: peer kernel id -> the SLO alert that preceded the death
+        #: verdict — ``(alert_cycle, slo name, severity)`` — when an
+        #: SLO monitor was watching (see repro.obs.slo); absent peers
+        #: had no alert standing.
+        self.failover_alerts: dict[int, tuple] = {}
         #: send-EP index on the kernel DTU per service name.
         self._service_eps: dict[str, int] = {}
         self._next_service_ep = KERNEL_FIRST_SRV_EP
@@ -517,6 +522,12 @@ class Kernel:
             self.sim.obs.count("kernel.recoveries")
             self.sim.obs.instant("recover", "watchdog", vpe.node,
                                  vpe=vpe.id, reason=reason)
+            if self.sim.obs.flight is not None:
+                self.sim.obs.flight.dump(
+                    f"kernel{self.kernel_id}: watchdog recovers VPE "
+                    f"#{vpe.id} ({vpe.name}): {reason}",
+                    domain=self.kernel_id,
+                )
         vpe.failed = True
         self.sim.ledger.mark(
             self.sim.now, Tag.FAULT,
@@ -1504,6 +1515,12 @@ class Kernel:
         # still matches the sessions actually dispatched, and no stale
         # replica name is handed to the remote-session probe toward a
         # domain failover already declared dead.
+        if self.sim.obs is not None and self.sim.obs.flight is not None:
+            self.sim.obs.flight.dump(
+                f"kernel{self.kernel_id}: no live replica for route "
+                f"{name!r}",
+                domain=self.kernel_id,
+            )
         raise SyscallError(f"no live replica for route {name!r}")
 
     # -- queue-depth telemetry (piggybacked on inter-kernel traffic) -----
@@ -2302,11 +2319,33 @@ class Kernel:
         detected = self.sim.now
         self.dead_peers.add(peer)
         self._heartbeat_misses.pop(peer, None)
-        if self.sim.obs is not None:
-            self.sim.obs.count(f"kernel{self.kernel_id}.peer_deaths")
-            self.sim.obs.instant(
-                "peer_dead", "ik", self.node, peer=peer, reason=reason,
-            )
+        obs = self.sim.obs
+        if obs is not None:
+            obs.count(f"kernel{self.kernel_id}.peer_deaths")
+            alert = None
+            if obs.slo_monitors:
+                from repro.obs.slo import last_alert_before
+
+                alert = last_alert_before(obs, detected)
+                if alert is not None:
+                    self.failover_alerts[peer] = alert
+            if alert is not None:
+                obs.instant(
+                    "peer_dead", "ik", self.node, peer=peer,
+                    reason=reason, slo=alert[1], slo_severity=alert[2],
+                    slo_cycle=alert[0],
+                )
+            else:
+                obs.instant(
+                    "peer_dead", "ik", self.node, peer=peer,
+                    reason=reason,
+                )
+            if obs.flight is not None:
+                obs.flight.dump(
+                    f"kernel{self.kernel_id}: domain {peer} declared "
+                    f"dead ({reason})",
+                    domain=peer,
+                )
         self.sim.ledger.mark(
             detected, Tag.FAULT,
             f"{self.label}: declared kernel {peer} dead ({reason})",

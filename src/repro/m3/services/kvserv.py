@@ -273,4 +273,20 @@ def start_kv_tier(system: "M3System", replicas: int | None = None,
         if system.sim.obs is not None:
             system.sim.obs.label_node(vpe.node, f"service:{name}{index}")
     system.register_service_route(name, route, policy=policy)
+    obs = system.sim.obs
+    if obs is not None and obs.telemetry is not None:
+        # Per-replica queue depth as a telemetry series, sampled at
+        # each epoch close from the owning kernel — the authoritative
+        # copy of the signal the depth router and autoscaler act on.
+        # Reading the live route each time keeps replicas the
+        # autoscaler adds (or retires) in the series automatically.
+        def depth_sampler():
+            return tuple(
+                (f"kv.{replica}.depth",
+                 system.kernels[owner]._local_depth(replica))
+                for replica, owner in
+                system.kernels[0].service_routes.get(name, ())
+            )
+
+        obs.telemetry.add_sampler(depth_sampler)
     return servers

@@ -179,6 +179,43 @@ class M3System:
         """The installed observer, or None when observability is off."""
         return self.sim.obs
 
+    def enable_telemetry(self, **kwargs):
+        """Attach the streaming telemetry plane (requires an observer).
+
+        Returns the :class:`repro.obs.Telemetry` hub; from here on the
+        Observer's counters/gauges/histograms also fold into per-epoch
+        series (see docs/observability.md, "Telemetry").
+        """
+        if self.sim.obs is None:
+            raise RuntimeError(
+                "enable observability before telemetry (observe=True "
+                "or enable_observability())"
+            )
+        return self.sim.obs.enable_telemetry(**kwargs)
+
+    def domain_map(self) -> dict[int, int]:
+        """NoC node -> kernel-domain id, for failure attribution."""
+        mapping: dict[int, int] = {}
+        for kernel in self.kernels:
+            if kernel.domain:
+                for node in kernel.domain:
+                    mapping[node] = kernel.kernel_id
+            else:  # single-kernel layout: it owns the whole mesh
+                for pe in self.platform.pes:
+                    mapping[pe.node] = kernel.kernel_id
+        return mapping
+
+    def enable_flight_recorder(self, **kwargs):
+        """Attach a flight recorder wired to this system's domain map
+        (requires an observer).  Returns the recorder."""
+        if self.sim.obs is None:
+            raise RuntimeError(
+                "enable observability before the flight recorder"
+            )
+        recorder = self.sim.obs.enable_flight_recorder(**kwargs)
+        recorder.map_nodes(self.domain_map())
+        return recorder
+
     # -- boot -----------------------------------------------------------------
 
     def boot(self, with_fs: bool = True, fs_kwargs: dict | None = None) -> "M3System":

@@ -21,6 +21,17 @@ package is the first-class observability layer:
   :func:`~repro.obs.causal.critical_path` extracts the chain of cycle
   intervals that determined end-to-end latency, attributed per
   component (libm3 / DTU / NoC / kernel / service / inter-kernel RPC).
+- :mod:`repro.obs.timeseries` — the streaming telemetry plane:
+  epoch-bucketed counter/gauge/quantile series with ring retention and
+  mergeable snapshots (``observer.enable_telemetry()``).
+- :mod:`repro.obs.slo` — declarative latency/availability SLOs
+  evaluated in-sim with multi-window burn-rate alerting; alerts feed
+  the autoscaler (``policy="slo"``) and failover verdicts.
+- :mod:`repro.obs.flight` — a bounded per-domain flight recorder
+  dumped deterministically on failure verdicts
+  (``observer.enable_flight_recorder()``).
+- :mod:`repro.obs.prom` — Prometheus-style text exposition of the
+  collected metrics.
 
 Zero-overhead contract: nothing is collected unless an Observer is
 installed on the simulator (``sim.obs``); every instrumentation point
@@ -43,21 +54,33 @@ from repro.obs.causal import (
 from repro.obs.metrics import Histogram
 from repro.obs.observer import Instant, Observer, Span
 from repro.obs.chrome import trace_events, to_chrome_trace, export_chrome_trace
+from repro.obs.timeseries import Telemetry, merge_snapshots
+from repro.obs.slo import SloMonitor, SloSpec, last_alert_before
+from repro.obs.flight import FlightRecorder, render_dump
+from repro.obs.prom import render_prometheus
 
 __all__ = [
+    "FlightRecorder",
     "Histogram",
     "Instant",
     "NO_CONTEXT",
     "Observer",
     "Request",
     "Segment",
+    "SloMonitor",
+    "SloSpec",
     "Span",
+    "Telemetry",
     "TraceContext",
     "assemble_requests",
     "component_breakdown",
     "critical_path",
     "find_request",
     "header_context",
+    "last_alert_before",
+    "merge_snapshots",
+    "render_dump",
+    "render_prometheus",
     "trace_events",
     "to_chrome_trace",
     "export_chrome_trace",

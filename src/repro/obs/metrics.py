@@ -19,7 +19,13 @@ bit.
 
 from __future__ import annotations
 
+from fractions import Fraction
+
 BUCKET_COUNT = 64
+
+#: quantile fractions are interpreted as decimals with at most this
+#: denominator (0.7 means 7/10, not the nearest binary float).
+_FRACTION_DENOMINATOR = 10**9
 
 
 class Histogram:
@@ -92,29 +98,109 @@ class Histogram:
         """Upper bound of the bucket containing the given quantile.
 
         Deterministic and conservative: the true value is strictly below
-        the returned bound.  Returns 0 on an empty histogram.  With
-        ``precision`` set, the bound comes from the log-linear
-        sub-buckets (relative error below ``2^-precision``) instead of
-        the 2x-granularity log2 buckets.
+        the returned bound.  Edge cases are defined: an empty histogram
+        returns 0; ``fraction=0.0`` returns the bound of the smallest
+        sample's bucket; ``fraction=1.0`` the bound of the largest; a
+        single-sample histogram returns that sample's bound for every
+        fraction.  The fraction is read as a decimal — ``0.7`` selects
+        rank ``ceil(0.7 * count)`` exactly, never the neighbouring rank
+        that binary float rounding would pick.  With ``precision`` set,
+        the bound comes from the log-linear sub-buckets (relative error
+        below ``2^-precision``) instead of the 2x-granularity log2
+        buckets.
         """
         if not (0.0 <= fraction <= 1.0):
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if not self.count:
             return 0
-        threshold = fraction * self.count
+        exact = Fraction(fraction).limit_denominator(_FRACTION_DENOMINATOR)
+        rank = -(-(exact.numerator * self.count) // exact.denominator)
         seen = 0
         if self.fine is not None:
             for low in sorted(self.fine):
                 seen += self.fine[low]
-                if seen >= threshold:
+                if seen >= rank:
                     shift = low.bit_length() - 1 - self.precision
                     return low + (1 << shift if shift > 0 else 1)
             raise AssertionError("unreachable")  # pragma: no cover
         for index, bucket_count in enumerate(self.counts):
             seen += bucket_count
-            if bucket_count and seen >= threshold:
+            if bucket_count and seen >= rank:
+                if index == BUCKET_COUNT - 1:
+                    # the top bucket absorbs every sample too large for
+                    # its nominal [2^62, 2^63) range, so its static
+                    # bound is not conservative — the observed max is.
+                    return self.max + 1
                 return self.bucket_bounds(index)[1]
         return self.bucket_bounds(BUCKET_COUNT - 1)[1]  # pragma: no cover
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram.
+
+        Merging shard-local histograms is exact: the result is bit for
+        bit the histogram a single simulator would have produced from
+        the union of the samples (same buckets, same sub-buckets, same
+        quantile bounds).  Both sides must share the same ``precision``.
+        """
+        if other.precision != self.precision:
+            raise ValueError(
+                f"cannot merge precision={other.precision} histogram "
+                f"into precision={self.precision}"
+            )
+        for index, bucket_count in enumerate(other.counts):
+            if bucket_count:
+                self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or
+                                      other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or
+                                      other.max > self.max):
+            self.max = other.max
+        if self.fine is not None and other.fine:
+            for low, fine_count in other.fine.items():
+                self.fine[low] = self.fine.get(low, 0) + fine_count
+
+    def snapshot(self) -> dict:
+        """A JSON-safe, mergeable snapshot of this histogram.
+
+        Sparse and deterministic: only non-empty buckets appear, in
+        ascending order.  ``from_snapshot`` round-trips exactly.
+        """
+        snap = {
+            "name": self.name,
+            "precision": self.precision,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "counts": [
+                [index, bucket_count]
+                for index, bucket_count in enumerate(self.counts)
+                if bucket_count
+            ],
+        }
+        if self.fine is not None:
+            snap["fine"] = [
+                [low, self.fine[low]] for low in sorted(self.fine)
+            ]
+        return snap
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`snapshot` output."""
+        hist = cls(snap["name"], precision=snap["precision"])
+        for index, bucket_count in snap["counts"]:
+            hist.counts[index] = bucket_count
+        hist.count = snap["count"]
+        hist.total = snap["total"]
+        hist.min = snap["min"]
+        hist.max = snap["max"]
+        if hist.fine is not None:
+            for low, fine_count in snap.get("fine", ()):
+                hist.fine[low] = fine_count
+        return hist
 
     def rows(self) -> list[tuple[str, int, str]]:
         """(range, count, cumulative%) rows for non-empty buckets."""

@@ -94,6 +94,14 @@ class Observer:
         self.causal = CausalTracker()
         #: node -> human label ("kernel0", "app:find-3", ...) for exports.
         self.node_labels: dict[int, str] = {}
+        #: optional streaming-telemetry hub (see repro.obs.timeseries);
+        #: None by default so instrumented sites pay one branch.
+        self.telemetry = None
+        #: optional flight recorder (see repro.obs.flight).
+        self.flight = None
+        #: attached SLO monitors (see repro.obs.slo); consulted by the
+        #: kernel to annotate failover verdicts.
+        self.slo_monitors: list = []
 
     # -- installation ----------------------------------------------------
 
@@ -105,6 +113,28 @@ class Observer:
         observer = cls(sim, **kwargs)
         sim.obs = observer
         return observer
+
+    def enable_telemetry(self, **kwargs):
+        """Attach a :class:`~repro.obs.timeseries.Telemetry` hub.
+
+        Counters, gauges, and histogram observations recorded through
+        this Observer fan into per-epoch series from here on.
+        """
+        from repro.obs.timeseries import Telemetry
+
+        if self.telemetry is not None:
+            raise RuntimeError("telemetry is already enabled")
+        self.telemetry = Telemetry(self.sim, **kwargs)
+        return self.telemetry
+
+    def enable_flight_recorder(self, **kwargs):
+        """Attach a :class:`~repro.obs.flight.FlightRecorder`."""
+        from repro.obs.flight import FlightRecorder
+
+        if self.flight is not None:
+            raise RuntimeError("flight recorder is already enabled")
+        self.flight = FlightRecorder(self, **kwargs)
+        return self.flight
 
     # -- spans -----------------------------------------------------------
 
@@ -188,6 +218,8 @@ class Observer:
                 and len(self._spans) == self.span_capacity):
             self.spans_dropped += 1
         self._spans.append(span)
+        if self.flight is not None:
+            self.flight.record_span(span)
         return span
 
     def instant(self, name: str, category: str, node: int = -1, **args) -> None:
@@ -195,19 +227,24 @@ class Observer:
         if (self.span_capacity is not None
                 and len(self._instants) == self.span_capacity):
             self.instants_dropped += 1
-        self._instants.append(
-            Instant(name, category, node, self.sim.now, args or None)
-        )
+        instant = Instant(name, category, node, self.sim.now, args or None)
+        self._instants.append(instant)
+        if self.flight is not None:
+            self.flight.record_instant(instant)
 
     # -- metrics -----------------------------------------------------------
 
     def count(self, name: str, n: int = 1) -> None:
         """Bump a named counter."""
         self.counters[name] = self.counters.get(name, 0) + n
+        if self.telemetry is not None:
+            self.telemetry.counter(name, n)
 
     def gauge(self, name: str, value) -> None:
         """Set a named gauge to its latest value."""
         self.gauges[name] = value
+        if self.telemetry is not None:
+            self.telemetry.gauge(name, value)
 
     def observe(self, name: str, value: int) -> None:
         """Record a sample into a named histogram."""
@@ -215,6 +252,8 @@ class Observer:
         if hist is None:
             hist = self.histograms[name] = Histogram(name)
         hist.observe(value)
+        if self.telemetry is not None:
+            self.telemetry.observe(name, value)
 
     def histogram(self, name: str) -> Histogram:
         """The named histogram (empty if nothing was observed)."""
@@ -238,6 +277,8 @@ class Observer:
             self._next_epoch += self.epoch
         if force and now > self._next_epoch - self.epoch:
             self._record_epoch(network, self._next_epoch - self.epoch, now)
+        if self.telemetry is not None:
+            self.telemetry.advance(now)
 
     def label_node(self, node: int, label: str) -> None:
         """Attach a human-readable role label to a NoC node (shown as
@@ -246,14 +287,22 @@ class Observer:
 
     def _record_epoch(self, network: "Network", start: int, end: int) -> None:
         span = end - start
+        busy_links, busiest = 0, 0.0
         for key, link in network.iter_links():
             if not link.packets:
                 continue
             busy = link.busy_within(end) - link.busy_within(start)
             if busy:
+                fraction = busy / span
                 self.link_series.setdefault(key, []).append(
-                    (end, busy / span)
+                    (end, fraction)
                 )
+                busy_links += 1
+                if fraction > busiest:
+                    busiest = fraction
+        if self.telemetry is not None and busy_links:
+            self.telemetry.gauge("noc.links_busy", busy_links)
+            self.telemetry.gauge("noc.link_busy_max", round(busiest, 4))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Observer spans={len(self._spans)} "

@@ -1,0 +1,314 @@
+"""Epoch-bucketed time-series telemetry.
+
+The Observer's counters, gauges, and histograms answer "what happened
+over the whole run"; the telemetry plane adds the time axis.  Simulated
+time is cut into fixed *epochs* (``epoch`` cycles each, numbered from
+0), and every instrument folds into the epoch containing the current
+cycle:
+
+- **counter series** — per-epoch deltas (requests this epoch, retries
+  this epoch), summed within the epoch;
+- **gauge series** — last-written value per epoch (queue depth, live
+  replica count);
+- **quantile series** — one deterministic
+  :class:`~repro.obs.metrics.Histogram` per epoch (per-epoch p99
+  without storing samples).
+
+Epochs advance *lazily*: every record checks the clock, and
+:meth:`Telemetry.advance` is also driven from the Observer's
+``sample_links`` path — the telemetry plane never schedules simulator
+events, so an idle simulation still drains its queue.  When an epoch
+closes, registered *samplers* (callables returning ``(name, value)``
+gauge pairs) are polled — this is how sources that nobody pushes, like
+per-replica kv queue depth, get a series.
+
+Retention is a ring: each series keeps the most recent ``retention``
+epochs and counts what it dropped.  :meth:`Telemetry.snapshot` emits a
+JSON-safe, *mergeable* form — :func:`merge_snapshots` combines
+shard-local or worker-local snapshots deterministically (counters add,
+gauges add across disjoint sources, histograms merge exactly), so
+``runall`` workers and ``ShardedSimulator`` shards aggregate to the
+same bytes as a monolithic run.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.obs.metrics import Histogram
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+#: default telemetry epoch in cycles — coarser than the 10k-cycle link
+#: epochs; one row per epoch in the eval reports.
+DEFAULT_TELEMETRY_EPOCH = 50_000
+
+#: default per-series ring size, in epochs.
+DEFAULT_RETENTION = 1024
+
+COUNTER, GAUGE, QUANTILE = "counter", "gauge", "quantile"
+
+
+class Telemetry:
+    """Per-epoch series for one simulation (``observer.telemetry``)."""
+
+    def __init__(self, sim: "Simulator",
+                 epoch: int = DEFAULT_TELEMETRY_EPOCH,
+                 retention: int | None = DEFAULT_RETENTION,
+                 precision: int | None = 7):
+        if epoch < 1:
+            raise ValueError("telemetry epoch must be positive")
+        if retention is not None and retention < 1:
+            raise ValueError("retention must be positive")
+        self.sim = sim
+        self.epoch = epoch
+        self.retention = retention
+        self.precision = precision
+        #: name -> series kind (fixed at first record).
+        self.kinds: dict[str, str] = {}
+        #: name -> deque of (epoch_index, value); value is an int/float
+        #: for counter/gauge series, a Histogram for quantile series.
+        self._series: dict[str, collections.deque] = {}
+        #: name -> closed epochs evicted by the retention ring.
+        self.dropped_epochs: dict[str, int] = {}
+        #: index of the open (accumulating) epoch.
+        self._open_index = 0
+        self._open_counters: dict[str, int] = {}
+        self._open_gauges: dict[str, float] = {}
+        self._open_quantiles: dict[str, Histogram] = {}
+        #: quantile series name -> sorted thresholds; each observation
+        #: above a threshold bumps the exact-count counter series
+        #: ``{name}.over_{threshold}`` (how SLO monitors get exact
+        #: bad-event counts instead of reading them off sub-buckets).
+        self._watches: dict[str, tuple[int, ...]] = {}
+        #: callables polled at each epoch close; each returns an
+        #: iterable of (gauge name, value) pairs.
+        self.samplers: list = []
+        #: called after an epoch folds: fn(epoch_index, end_cycle).
+        self.on_epoch_close: list = []
+
+    # -- recording -------------------------------------------------------
+
+    def counter(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the open epoch's delta for ``name``."""
+        self._tick()
+        self._open_counters[name] = self._open_counters.get(name, 0) + n
+
+    def gauge(self, name: str, value) -> None:
+        """Set the open epoch's value for ``name`` (last write wins)."""
+        self._tick()
+        self._open_gauges[name] = value
+
+    def observe(self, name: str, value: int) -> None:
+        """Record a sample into the open epoch's histogram."""
+        self._tick()
+        hist = self._open_quantiles.get(name)
+        if hist is None:
+            hist = self._open_quantiles[name] = Histogram(
+                name, precision=self.precision
+            )
+        hist.observe(value)
+        for threshold in self._watches.get(name, ()):
+            if value > threshold:
+                over = f"{name}.over_{threshold}"
+                self._open_counters[over] = \
+                    self._open_counters.get(over, 0) + 1
+
+    def watch_threshold(self, name: str, threshold: int) -> str:
+        """Count samples of quantile series ``name`` above ``threshold``.
+
+        Returns the counter series name carrying the exact over-count
+        (``{name}.over_{threshold}``).
+        """
+        current = self._watches.get(name, ())
+        if threshold not in current:
+            self._watches[name] = tuple(sorted(current + (threshold,)))
+        return f"{name}.over_{threshold}"
+
+    def add_sampler(self, sampler) -> None:
+        """Register a callable polled at each epoch close; it returns
+        an iterable of ``(gauge name, value)`` pairs."""
+        self.samplers.append(sampler)
+
+    # -- epoch machinery -------------------------------------------------
+
+    def advance(self, now: int | None = None) -> None:
+        """Close every epoch that ended at or before ``now``."""
+        if now is None:
+            now = self.sim.now
+        target = now // self.epoch
+        while self._open_index < target:
+            self._close_epoch(self._open_index)
+            self._open_index += 1
+
+    def _tick(self) -> None:
+        self.advance(self.sim.now)
+
+    def flush(self) -> None:
+        """Fold the trailing partial epoch (for end-of-run reports).
+
+        Idempotent: records landing after a flush re-open the same
+        epoch and a later flush combines them.
+        """
+        self.advance(self.sim.now)
+        self._close_epoch(self._open_index)
+
+    def _close_epoch(self, index: int) -> None:
+        for sampler in self.samplers:
+            for name, value in sampler():
+                self._open_gauges[name] = value
+        for name, value in self._open_counters.items():
+            self._fold(name, COUNTER, index, value)
+        for name, value in self._open_gauges.items():
+            self._fold(name, GAUGE, index, value)
+        for name, hist in self._open_quantiles.items():
+            self._fold(name, QUANTILE, index, hist)
+        self._open_counters.clear()
+        self._open_gauges.clear()
+        self._open_quantiles.clear()
+        end_cycle = (index + 1) * self.epoch
+        for hook in self.on_epoch_close:
+            hook(index, end_cycle)
+
+    def _fold(self, name: str, kind: str, index: int, value) -> None:
+        known = self.kinds.get(name)
+        if known is None:
+            self.kinds[name] = kind
+            self._series[name] = collections.deque(maxlen=self.retention)
+        elif known != kind:
+            raise ValueError(
+                f"series {name!r} is a {known}, not a {kind}"
+            )
+        ring = self._series[name]
+        if ring and ring[-1][0] == index:  # re-flush of a partial epoch
+            last_index, last_value = ring[-1]
+            if kind == COUNTER:
+                value = last_value + value
+            elif kind == QUANTILE:
+                last_value.merge(value)
+                value = last_value
+            ring[-1] = (last_index, value)
+            return
+        if self.retention is not None and len(ring) == self.retention:
+            self.dropped_epochs[name] = self.dropped_epochs.get(name, 0) + 1
+        ring.append((index, value))
+
+    # -- reading ---------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def points(self, name: str) -> list[tuple[int, typing.Any]]:
+        """Closed epochs of a series as ``(epoch_index, value)`` pairs."""
+        return list(self._series.get(name, ()))
+
+    def end_cycle(self, index: int) -> int:
+        """The cycle at which epoch ``index`` ends (exclusive)."""
+        return (index + 1) * self.epoch
+
+    def value_at(self, name: str, index: int, default=0):
+        """The series value at one epoch (``default`` when absent)."""
+        for point_index, value in self._series.get(name, ()):
+            if point_index == index:
+                return value
+        return default
+
+    def window_sum(self, name: str, last_index: int, width: int) -> int:
+        """Sum of a counter series over ``[last_index - width + 1,
+        last_index]`` — missing epochs count 0."""
+        first = last_index - width + 1
+        total = 0
+        for index, value in self._series.get(name, ()):
+            if first <= index <= last_index:
+                total += value
+        return total
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-safe, mergeable snapshot of every closed epoch."""
+        series = {}
+        for name in sorted(self._series):
+            kind = self.kinds[name]
+            points = [
+                [index,
+                 value.snapshot() if kind == QUANTILE else value]
+                for index, value in self._series[name]
+            ]
+            series[name] = {"kind": kind, "points": points}
+        return {
+            "epoch": self.epoch,
+            "precision": self.precision,
+            "dropped": dict(sorted(self.dropped_epochs.items())),
+            "series": series,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Telemetry epoch={self.epoch} "
+                f"series={len(self._series)} open={self._open_index}>")
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Merge shard-local telemetry snapshots deterministically.
+
+    All snapshots must share the same epoch length.  Same-named series
+    must agree on kind; same-epoch points combine as counter-add,
+    gauge-add (gauges from different shards are disjoint sources, e.g.
+    distinct replicas), and exact histogram merge.  The result is
+    independent of snapshot order and equals what one telemetry hub
+    fed all the records would have produced.
+    """
+    if not snapshots:
+        raise ValueError("nothing to merge")
+    epoch = snapshots[0]["epoch"]
+    precision = snapshots[0]["precision"]
+    for snap in snapshots:
+        if snap["epoch"] != epoch:
+            raise ValueError(
+                f"cannot merge snapshots with epochs "
+                f"{epoch} and {snap['epoch']}"
+            )
+    merged_series: dict[str, dict] = {}
+    dropped: dict[str, int] = {}
+    for snap in snapshots:
+        for name, count in snap["dropped"].items():
+            dropped[name] = dropped.get(name, 0) + count
+        for name, body in snap["series"].items():
+            into = merged_series.setdefault(
+                name, {"kind": body["kind"], "points": {}}
+            )
+            if into["kind"] != body["kind"]:
+                raise ValueError(
+                    f"series {name!r} is a {into['kind']} in one "
+                    f"snapshot and a {body['kind']} in another"
+                )
+            points = into["points"]
+            for index, value in body["points"]:
+                if index not in points:
+                    points[index] = (
+                        Histogram.from_snapshot(value)
+                        if body["kind"] == QUANTILE else value
+                    )
+                elif body["kind"] == QUANTILE:
+                    points[index].merge(Histogram.from_snapshot(value))
+                else:
+                    points[index] = points[index] + value
+    out_series = {}
+    for name in sorted(merged_series):
+        body = merged_series[name]
+        out_series[name] = {
+            "kind": body["kind"],
+            "points": [
+                [index,
+                 value.snapshot() if body["kind"] == QUANTILE else value]
+                for index, value in sorted(body["points"].items())
+            ],
+        }
+    return {
+        "epoch": epoch,
+        "precision": precision,
+        "dropped": dict(sorted(dropped.items())),
+        "series": out_series,
+    }

@@ -306,6 +306,7 @@ def loadgen_app(env, run: TrafficRun):
         yield from _send_with_retry(net, gw_port, payload, run)
         if obs is not None:
             obs.end(span)
+            obs.count("traffic.sent")
     run.sent_all_at = env.sim.now
     yield from net.close()
     return len(run.schedule)
@@ -329,6 +330,11 @@ def collector_app(env, run: TrafficRun):
         req_id, _client, result_len, status = _RSP.unpack_from(payload)
         if req_id not in run.completions:
             run.completions[req_id] = (env.sim.now, status, result_len)
+            obs = env.sim.obs
+            if obs is not None:
+                obs.count("traffic.completions")
+                obs.observe("traffic.latency_cycles",
+                            env.sim.now - run.sent[req_id])
     stop = _REQ.pack(STOP_REQ_ID, 0, 0, 0, 0)
     for index in range(run.gateways):
         yield from _send_with_retry(net, GATEWAY_BASE_PORT + index, stop,
@@ -387,6 +393,7 @@ def run_profile(profile: TrafficProfile,
                 kv_op_cycles: int | None = None,
                 heartbeats: bool = False,
                 autoscale: dict | None = None,
+                instrument=None,
                 **system_kwargs) -> TrafficResult:
     """Boot the serving stack, drive one load point, measure it.
 
@@ -409,6 +416,13 @@ def run_profile(profile: TrafficProfile,
     the queue-depth gossip); ``autoscale`` is a keyword dict for
     :class:`repro.m3.autoscale.AutoScaler` (e.g. ``{"epoch": 40_000,
     "up_depth": 8}``) that switches the controller on.
+
+    ``instrument`` is an optional callable invoked with the booted
+    system before any service starts — the hook the telemetry eval
+    uses to attach the streaming telemetry plane, SLO monitors, and
+    the flight recorder so they see the whole run (the kv tier
+    registers its queue-depth samplers only if telemetry is already
+    on when it boots).
     """
     system = M3System(pe_count=pe_count, kernel_count=kernel_count,
                       reliable=True, observe=observe, shards=shards,
@@ -416,6 +430,8 @@ def run_profile(profile: TrafficProfile,
     if fault_plan is not None:
         fault_plan.install(system.platform)
     system.boot(with_fs=False)
+    if instrument is not None:
+        instrument(system)
     netservs = start_network(system)
     kv_servers = start_kv_tier(system, replicas=kv_replicas,
                                domains=kv_domains, policy=policy,

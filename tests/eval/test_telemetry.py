@@ -1,0 +1,61 @@
+"""The telemetry eval's failover act: annotation, dump, determinism.
+
+The serving act is covered by the results-stability suite (it is the
+traffic eval plus a read-only telemetry attachment); these tests
+exercise the cheaper domain-kill act end to end.
+"""
+
+import pytest
+
+from repro.eval import telemetry
+
+
+@pytest.fixture(scope="module")
+def failover():
+    return telemetry.failover_results()
+
+
+def test_slo_pages_before_the_death_verdict(failover):
+    """The whole point of the annotation: the delivery SLO was already
+    paging on the background loss when the heartbeat verdict landed."""
+    assert failover["peer"] == 1
+    assert failover["detected_at"] > failover["killed_at"]
+    assert failover["completed_at"] >= failover["detected_at"]
+    annotation = failover["annotation"]
+    assert annotation is not None
+    alert_cycle, slo_name, severity = annotation
+    assert slo_name == telemetry.FAIL_SLO.name
+    assert severity == "page"
+    assert alert_cycle < failover["detected_at"]
+    # ... and the verdict agrees the objective was breached.
+    assert failover["verdict"]["breached"]
+    assert failover["verdict"]["alerts"] >= 1
+
+
+def test_flight_dump_captures_the_dead_domain(failover):
+    dump = failover["dump_text"]
+    assert "declared dead" in dump
+    assert "domain 1:" in dump  # the verdict's domain renders first
+    assert dump.index("domain 1:") < dump.index("domain 0:")
+
+
+def test_prometheus_excerpt_is_kernel0_only_with_types(failover):
+    excerpt = failover["prom_excerpt"]
+    assert excerpt, "excerpt must not be empty"
+    assert any(line.startswith("# TYPE kernel0_") for line in excerpt)
+    for line in excerpt:
+        name = line.split()[2 if line.startswith("#") else 0]
+        assert name.startswith("kernel0_")
+
+
+def test_failover_act_is_deterministic(failover):
+    again = telemetry.failover_results()
+    assert again == failover
+
+
+def test_flight_variant_differs_from_the_committed_act(failover):
+    """CI's variant gate re-rolls seed and loss rate; it must exercise
+    a distinct dump, not re-render the committed one."""
+    variant = telemetry.flight_variant()
+    assert "declared dead" in variant
+    assert variant != failover["dump_text"]

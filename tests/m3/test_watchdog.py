@@ -104,6 +104,38 @@ def test_healthy_sibling_is_untouched_by_recovery():
     assert not system.platform.pe(3).failed
 
 
+def test_recovery_dumps_the_flight_recorder():
+    """A watchdog kill is a failure verdict: with the flight recorder
+    on, recovery freezes the black box for the victim's domain."""
+    system = M3System(pe_count=4, reliable=True, observe=True)
+    plan = FaultPlan(seed=42)
+    plan.kill_pe(node=2, at=KILL_AT)
+    plan.install(system.platform)
+    system.boot(with_fs=False)
+    flight = system.enable_flight_recorder()
+    system.kernel.start_watchdog(period=PERIOD, probe_timeout=PROBE_TIMEOUT)
+
+    def parent(env):
+        vpe = yield from VPE.create(env, "victim")
+        yield from vpe.run(_immortal_child)
+        try:
+            yield from vpe.wait()
+        except SyscallError:
+            pass
+        return "done"
+
+    system.run_app(parent, name="parent")
+    system.kernel.stop_watchdog()
+    assert len(flight.dumps) == 1
+    dump = flight.dumps[0]
+    assert "watchdog recovers VPE" in dump["reason"]
+    assert "victim" in dump["reason"]
+    assert dump["domain"] == 0
+    # The ring holds the probes that led to the verdict.
+    names = [i.name for i in dump["instants"].get(0, [])]
+    assert "recover" in names
+
+
 def test_watchdog_leaves_healthy_system_alone():
     system = _system()  # no faults at all
     system.kernel.start_watchdog(period=PERIOD, probe_timeout=PROBE_TIMEOUT)

@@ -147,3 +147,81 @@ def test_rows_only_nonempty_buckets_with_cumulative_share():
         ("[1, 2)", 1, "50.0%"),
         ("[512, 1,024)", 1, "100.0%"),
     ]
+
+
+def test_percentile_rank_is_exact_decimal():
+    # 0.7 * 10 is 7.000000000000001 in binary floats; the rank must
+    # still be ceil(7/10 * 10) = 7, i.e. the 7th sample, not the 8th.
+    hist = Histogram(precision=7)
+    for value in range(1, 11):
+        hist.observe(value)
+    assert hist.percentile(0.7) == 8  # 7th sample is 7 -> bound 8
+    coarse = Histogram()
+    for value in (1, 1, 1, 1, 1, 1, 1, 64, 64, 64):
+        coarse.observe(value)
+    assert coarse.percentile(0.7) == 2  # rank 7 stays in [1, 2)
+
+
+def test_percentile_single_sample_and_extremes():
+    hist = Histogram()
+    hist.observe(300)
+    # A single sample answers every fraction with its own bound.
+    for fraction in (0.0, 0.001, 0.5, 0.999, 1.0):
+        assert hist.percentile(fraction) == 512
+    fine = Histogram(precision=7)
+    fine.observe(300)
+    for fraction in (0.0, 0.5, 1.0):
+        assert fine.percentile(fraction) == 302
+
+
+def test_percentile_top_bucket_uses_observed_max():
+    # Values too large for the nominal top-bucket range must not
+    # report a bound below themselves.
+    hist = Histogram()
+    hist.observe(1 << 200)
+    assert hist.percentile(0.5) == (1 << 200) + 1
+
+
+def test_merge_equals_monolithic():
+    left, right, whole = Histogram("m"), Histogram("m"), Histogram("m")
+    for value in (0, 1, 5, 900):
+        left.observe(value)
+        whole.observe(value)
+    for value in (3, 900, 1 << 40):
+        right.observe(value)
+        whole.observe(value)
+    left.merge(right)
+    assert left.counts == whole.counts
+    assert (left.count, left.total) == (whole.count, whole.total)
+    assert (left.min, left.max) == (whole.min, whole.max)
+
+
+def test_merge_empty_and_precision_mismatch():
+    hist = Histogram(precision=3)
+    hist.observe(9)
+    hist.merge(Histogram(precision=3))  # merging empty is a no-op
+    assert hist.count == 1 and hist.min == 9 and hist.max == 9
+    empty = Histogram(precision=3)
+    empty.merge(hist)  # merging into empty copies the state
+    assert empty.count == 1 and empty.min == 9 and empty.max == 9
+    with pytest.raises(ValueError):
+        hist.merge(Histogram())
+    with pytest.raises(ValueError):
+        Histogram().merge(hist)
+
+
+def test_snapshot_round_trip():
+    import json
+
+    hist = Histogram("rt", precision=5)
+    for value in (0, 7, 7, 4096, 123456789):
+        hist.observe(value)
+    snap = json.loads(json.dumps(hist.snapshot()))  # JSON-safe
+    back = Histogram.from_snapshot(snap)
+    assert back.counts == hist.counts
+    assert back.fine == hist.fine
+    assert (back.count, back.total, back.min, back.max) == \
+        (hist.count, hist.total, hist.min, hist.max)
+    assert back.name == "rt" and back.precision == 5
+    empty = Histogram.from_snapshot(Histogram("e").snapshot())
+    assert empty.count == 0 and empty.min is None and empty.fine is None

@@ -1,0 +1,85 @@
+"""Property tests: sharded histogram merges are exact.
+
+The telemetry plane merges shard-local histograms (``runall`` workers,
+``ShardedSimulator`` members) into one; these properties pin the merge
+to be indistinguishable — bucket for bucket, sub-bucket for
+sub-bucket, quantile for quantile — from a single histogram fed the
+union of the samples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram
+
+# Cycle-count-shaped samples: heavy at small values, tail into the
+# clamped top bucket.
+samples = st.lists(
+    st.integers(min_value=0, max_value=1 << 70), max_size=60
+)
+precisions = st.one_of(st.none(), st.integers(min_value=1, max_value=8))
+fractions = st.sampled_from(
+    [0.0, 0.001, 0.25, 0.5, 0.7, 0.9, 0.99, 0.999, 1.0]
+)
+
+
+def _fill(values, precision):
+    hist = Histogram("p", precision=precision)
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+def _same(a: Histogram, b: Histogram) -> None:
+    assert a.counts == b.counts
+    assert a.fine == b.fine
+    assert (a.count, a.total, a.min, a.max) == \
+        (b.count, b.total, b.min, b.max)
+
+
+@settings(max_examples=120, deadline=None)
+@given(samples, samples, precisions)
+def test_merge_of_shards_equals_monolithic(left, right, precision):
+    merged = _fill(left, precision)
+    merged.merge(_fill(right, precision))
+    _same(merged, _fill(left + right, precision))
+
+
+@settings(max_examples=80, deadline=None)
+@given(samples, samples, samples, precisions, fractions)
+def test_merge_preserves_quantiles_and_is_associative(
+    a, b, c, precision, fraction
+):
+    whole = _fill(a + b + c, precision)
+    left_first = _fill(a, precision)
+    left_first.merge(_fill(b, precision))
+    left_first.merge(_fill(c, precision))
+    right_first = _fill(a, precision)
+    tail = _fill(b, precision)
+    tail.merge(_fill(c, precision))
+    right_first.merge(tail)
+    _same(left_first, whole)
+    _same(right_first, whole)
+    assert left_first.percentile(fraction) == whole.percentile(fraction)
+
+
+@settings(max_examples=80, deadline=None)
+@given(samples, precisions)
+def test_snapshot_round_trip_property(values, precision):
+    original = _fill(values, precision)
+    _same(Histogram.from_snapshot(original.snapshot()), original)
+
+
+@settings(max_examples=80, deadline=None)
+@given(samples, samples, precisions, fractions)
+def test_snapshot_merge_path_equals_monolithic(left, right, precision,
+                                               fraction):
+    # The path the telemetry snapshots take: serialize per shard,
+    # rebuild, merge — still exact.
+    rebuilt = Histogram.from_snapshot(_fill(left, precision).snapshot())
+    rebuilt.merge(
+        Histogram.from_snapshot(_fill(right, precision).snapshot())
+    )
+    whole = _fill(left + right, precision)
+    _same(rebuilt, whole)
+    assert rebuilt.percentile(fraction) == whole.percentile(fraction)

@@ -1,0 +1,165 @@
+"""The telemetry plane: epoch bucketing, retention, merge, forwarding."""
+
+import json
+
+import pytest
+
+from repro.obs import Observer, merge_snapshots
+from repro.obs.timeseries import Telemetry
+from repro.sim import Simulator
+
+
+def _hub(epoch=100, **kwargs):
+    sim = Simulator()
+    obs = Observer.install(sim)
+    return sim, obs, obs.enable_telemetry(epoch=epoch, **kwargs)
+
+
+def test_counters_sum_within_their_epoch():
+    sim, obs, telemetry = _hub()
+    sim.schedule(10, lambda _: obs.count("req"))
+    sim.schedule(20, lambda _: obs.count("req", 2))
+    sim.schedule(150, lambda _: obs.count("req"))
+    sim.schedule(320, lambda _: obs.count("req", 5))
+    sim.run()
+    telemetry.flush()
+    assert telemetry.points("req") == [(0, 3), (1, 1), (3, 5)]
+    assert telemetry.end_cycle(0) == 100
+    # The cumulative counter is untouched by the epoch plane.
+    assert obs.counters["req"] == 9
+
+
+def test_gauges_last_write_wins_and_quantiles_per_epoch():
+    sim, obs, telemetry = _hub()
+    sim.schedule(10, lambda _: obs.gauge("depth", 4))
+    sim.schedule(90, lambda _: obs.gauge("depth", 7))
+    sim.schedule(110, lambda _: obs.observe("lat", 30))
+    sim.schedule(120, lambda _: obs.observe("lat", 50))
+    sim.schedule(210, lambda _: obs.observe("lat", 9000))
+    sim.run()
+    telemetry.flush()
+    assert telemetry.points("depth") == [(0, 7)]
+    (first, second) = telemetry.points("lat")
+    assert first[0] == 1 and first[1].count == 2 and first[1].max == 50
+    assert second[0] == 2 and second[1].count == 1
+    assert second[1].percentile(0.99) == 9024  # precision=7 default
+
+
+def test_series_kind_conflict_raises():
+    _sim, _obs, telemetry = _hub()
+    telemetry.counter("x")
+    telemetry.flush()
+    telemetry.gauge("x", 1)
+    with pytest.raises(ValueError, match="is a counter"):
+        telemetry.flush()
+
+
+def test_flush_is_idempotent_and_refolds_partial_epochs():
+    sim, obs, telemetry = _hub()
+    sim.schedule(10, lambda _: obs.count("req", 2))
+    sim.run()
+    telemetry.flush()
+    telemetry.flush()
+    assert telemetry.points("req") == [(0, 2)]
+    obs.count("req", 3)  # lands in the same (re-opened) epoch 0
+    telemetry.flush()
+    assert telemetry.points("req") == [(0, 5)]
+
+
+def test_retention_ring_drops_oldest_epochs():
+    sim, obs, telemetry = _hub(retention=2)
+    for cycle in (10, 110, 210, 310):
+        sim.schedule(cycle, lambda _: obs.count("req"))
+    sim.run()
+    telemetry.flush()
+    assert telemetry.points("req") == [(2, 1), (3, 1)]
+    assert telemetry.dropped_epochs == {"req": 2}
+
+
+def test_samplers_polled_at_epoch_close():
+    sim, _obs, telemetry = _hub()
+    depth = {"value": 5}
+    telemetry.add_sampler(lambda: (("kv.kv0.depth", depth["value"]),))
+    sim.schedule(150, lambda _: depth.__setitem__("value", 9))
+    sim.schedule(150, lambda _: telemetry.advance())
+    sim.schedule(250, lambda _: telemetry.advance())
+    sim.run()
+    # Epoch 0 closed at cycle 150 (lazy): it sampled the value as of
+    # the close, deterministically.
+    assert telemetry.points("kv.kv0.depth") == [(0, 9), (1, 9)]
+
+
+def test_watch_threshold_counts_exact_over_events():
+    _sim, _obs, telemetry = _hub()
+    over = telemetry.watch_threshold("lat", 100)
+    assert over == "lat.over_100"
+    for value in (40, 100, 101, 5000):
+        telemetry.observe("lat", value)
+    telemetry.flush()
+    assert telemetry.points(over) == [(0, 2)]  # 101 and 5000; 100 is ok
+
+
+def test_window_sum_and_value_at():
+    _sim, _obs, telemetry = _hub()
+    for index, value in ((0, 2), (1, 3), (3, 5)):
+        telemetry._fold("req", "counter", index, value)
+    assert telemetry.window_sum("req", 3, 4) == 10
+    assert telemetry.window_sum("req", 3, 2) == 5  # epochs 2..3
+    assert telemetry.value_at("req", 1) == 3
+    assert telemetry.value_at("req", 2) == 0
+
+
+def test_snapshot_merge_equals_monolithic():
+    def run(offsets):
+        sim = Simulator()
+        obs = Observer.install(sim)
+        telemetry = obs.enable_telemetry(epoch=100)
+        for cycle in offsets:
+            sim.schedule(cycle, lambda _: obs.count("req"))
+            sim.schedule(cycle, lambda _, c=cycle: obs.observe("lat", c))
+        sim.run()
+        telemetry.flush()
+        return telemetry
+
+    shard_a = run((10, 20, 150))
+    shard_b = run((30, 250))
+    whole = run((10, 20, 30, 150, 250))
+    merged = merge_snapshots([shard_a.snapshot(), shard_b.snapshot()])
+    # Byte-level determinism of the merged form, and equality with the
+    # monolithic run's own snapshot.
+    assert json.dumps(merged, sort_keys=True) == \
+        json.dumps(whole.snapshot(), sort_keys=True)
+    # Merge is order-independent.
+    flipped = merge_snapshots([shard_b.snapshot(), shard_a.snapshot()])
+    assert flipped == merged
+
+
+def test_merge_rejects_mismatched_epochs_and_kinds():
+    sim = Simulator()
+    a = Telemetry(sim, epoch=100)
+    b = Telemetry(sim, epoch=200)
+    with pytest.raises(ValueError, match="epochs"):
+        merge_snapshots([a.snapshot(), b.snapshot()])
+    with pytest.raises(ValueError, match="nothing to merge"):
+        merge_snapshots([])
+    c = Telemetry(sim, epoch=100)
+    c.counter("x")
+    c.flush()
+    d = Telemetry(sim, epoch=100)
+    d.gauge("x", 1)
+    d.flush()
+    with pytest.raises(ValueError, match="in another"):
+        merge_snapshots([c.snapshot(), d.snapshot()])
+
+
+def test_observer_without_telemetry_keeps_plain_metrics():
+    sim = Simulator()
+    obs = Observer.install(sim)
+    assert obs.telemetry is None
+    obs.count("a")
+    obs.gauge("g", 1)
+    obs.observe("h", 10)
+    assert obs.counters == {"a": 1}
+    with pytest.raises(RuntimeError):
+        obs.enable_telemetry()
+        obs.enable_telemetry()
